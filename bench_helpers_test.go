@@ -1,0 +1,12 @@
+package hfetch_test
+
+import (
+	"time"
+
+	"hfetch/internal/events"
+)
+
+// readEvent builds an enriched read event for benchmarks.
+func readEvent(file string, off, ln int64) events.Event {
+	return events.Event{Op: events.OpRead, File: file, Offset: off, Length: ln, Time: time.Now()}
+}

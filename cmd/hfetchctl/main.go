@@ -1,0 +1,112 @@
+// Command hfetchctl inspects and exercises a running hfetchd daemon.
+//
+// Usage:
+//
+//	hfetchctl -addr host:port stats
+//	hfetchctl -addr host:port tiers
+//	hfetchctl -addr host:port create <name> <size>
+//	hfetchctl -addr host:port read <name> <off> <len>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"hfetch/internal/core/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "hfetchd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := remote.Dial(*addr)
+	if err != nil {
+		log.Fatalf("hfetchctl: %v", err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "ping":
+		start := time.Now()
+		if !c.Ping() {
+			log.Fatalf("hfetchctl: daemon at %s did not answer", *addr)
+		}
+		fmt.Printf("pong from %s in %v\n", *addr, time.Since(start).Round(time.Microsecond))
+	case "stats":
+		st, err := c.ServerStats()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		fmt.Printf("node            %s\n", st.Node)
+		fmt.Printf("events          %d (reads %d, invalidations %d)\n",
+			st.Events, st.Reads, st.Invalidations)
+		fmt.Printf("segments seen   %d\n", st.SegmentsSeen)
+		fmt.Printf("engine runs     %d\n", st.EngineRuns)
+		fmt.Printf("placements      %d (promotions %d, demotions %d, evictions %d)\n",
+			st.Placements, st.Promotions, st.Demotions, st.Evictions)
+		fmt.Printf("remote traffic  %d reads issued, %d served\n", st.RemoteReads, st.RemoteServes)
+	case "tiers":
+		ti, err := c.Tiers()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		fmt.Printf("%-8s %12s %12s %10s\n", "TIER", "CAPACITY", "USED", "SEGMENTS")
+		for _, t := range ti {
+			fmt.Printf("%-8s %12d %12d %10d\n", t.Name, t.Capacity, t.Used, t.Segments)
+		}
+	case "create":
+		if len(args) != 3 {
+			usage()
+		}
+		size := mustInt(args[2])
+		if err := c.CreateFile(args[1], size); err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		fmt.Printf("created %s (%d bytes)\n", args[1], size)
+	case "read":
+		if len(args) != 4 {
+			usage()
+		}
+		f, err := c.Open(args[1])
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		defer f.Close()
+		off, ln := mustInt(args[2]), mustInt(args[3])
+		buf := make([]byte, ln)
+		n, err := f.ReadAt(buf, off)
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		fmt.Printf("read %d bytes; client stats: %s\n", n, c.Stats())
+	default:
+		usage()
+	}
+}
+
+func mustInt(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		log.Fatalf("hfetchctl: bad number %q", s)
+	}
+	return v
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hfetchctl [-addr host:port] <command>
+commands:
+  ping                      liveness probe
+  stats                     show server counters
+  tiers                     show tier occupancy
+  create <name> <size>      register a synthetic file
+  read <name> <off> <len>   read through the prefetcher`)
+	os.Exit(2)
+}

@@ -1,0 +1,156 @@
+// Command hfetchd runs a standalone HFetch server node: it builds the
+// configured tier hierarchy over the emulated PFS, starts the hardware
+// monitor and the hierarchical data placement engine, and serves the
+// agent protocol (open/read/write/close + admin/ctl) over TCP.
+//
+// Usage:
+//
+//	hfetchd [-config hfetch.json] [-listen addr] [-write-default path]
+//
+// Agents connect with internal/core/remote.Dial (see examples/remote in
+// the README) or via cmd/hfetchctl for inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hfetch/internal/comm"
+	"hfetch/internal/config"
+	"hfetch/internal/core/placement"
+	"hfetch/internal/core/remote"
+	"hfetch/internal/core/score"
+	"hfetch/internal/core/server"
+	"hfetch/internal/devsim"
+	"hfetch/internal/dhm"
+	"hfetch/internal/pfs"
+	"hfetch/internal/tiers"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "path to the JSON configuration (defaults built in)")
+	listen := flag.String("listen", "", "override the listen address")
+	writeDefault := flag.String("write-default", "", "write the default configuration to this path and exit")
+	flag.Parse()
+
+	if *writeDefault != "" {
+		if err := config.Default().Save(*writeDefault); err != nil {
+			log.Fatalf("hfetchd: %v", err)
+		}
+		fmt.Printf("wrote default configuration to %s\n", *writeDefault)
+		return
+	}
+
+	cfg := config.Default()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			log.Fatalf("hfetchd: %v", err)
+		}
+	}
+	if *listen != "" {
+		cfg.Listen = *listen
+	}
+
+	srv, fs, err := build(cfg)
+	if err != nil {
+		log.Fatalf("hfetchd: %v", err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	mux := comm.NewMux()
+	mux.RegisterPing()
+	remote.Serve(mux, srv)
+	remote.ServeAdmin(mux, fs)
+	ts, err := comm.ListenTCP(cfg.Listen, mux)
+	if err != nil {
+		log.Fatalf("hfetchd: %v", err)
+	}
+	defer ts.Close()
+	log.Printf("hfetchd: node %s serving on %s (%d tiers, segment %d bytes)",
+		cfg.Node, ts.Addr(), len(cfg.Tiers), cfg.SegmentSize)
+
+	if cfg.HTTPListen != "" {
+		go func() {
+			log.Printf("hfetchd: status API on http://%s", cfg.HTTPListen)
+			if err := http.ListenAndServe(cfg.HTTPListen, remote.NewHTTPHandler(srv)); err != nil {
+				log.Printf("hfetchd: status API: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("hfetchd: shutting down")
+}
+
+// build assembles the server from the configuration.
+func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	fs := pfs.New(devsim.New(devsim.Profile{
+		Name:        "pfs",
+		Latency:     time.Duration(cfg.PFS.LatencyUS * float64(time.Microsecond)),
+		BytesPerSec: cfg.PFS.BandwidthMBps * 1e6,
+		Channels:    cfg.PFS.Servers,
+	}, scale))
+	for _, f := range cfg.Files {
+		if err := fs.Create(f.Name, f.Size); err != nil {
+			return nil, nil, err
+		}
+	}
+	var stores []*tiers.Store
+	var shared []string
+	for _, t := range cfg.Tiers {
+		dev := devsim.New(devsim.Profile{
+			Name:        t.Name,
+			Latency:     time.Duration(t.LatencyUS * float64(time.Microsecond)),
+			BytesPerSec: t.BandwidthMBps * 1e6,
+			Channels:    t.Channels,
+		}, scale)
+		stores = append(stores, tiers.NewStore(t.Name, t.CapacityBytes, dev))
+		if t.Shared {
+			shared = append(shared, t.Name)
+		}
+	}
+	var stats, maps *dhm.Map
+	if cfg.WALPath != "" {
+		var err error
+		stats, maps, _, err = server.NewPersistentMaps(cfg.Node, cfg.WALPath)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		stats, maps = server.NewLocalMaps(cfg.Node)
+	}
+	scfg := server.Config{
+		Node:        cfg.Node,
+		SegmentSize: cfg.SegmentSize,
+		Score:       score.Params{P: cfg.DecayBase, Unit: cfg.DecayUnit()},
+		SeqBoost:    cfg.SeqBoost,
+		HeatDir:     cfg.HeatDir,
+		SharedTiers: shared,
+	}
+	scfg.Monitor.Daemons = cfg.Daemons
+	scfg.Engine = placement.Config{
+		Interval:        cfg.EngineInterval(),
+		UpdateThreshold: cfg.EngineUpdateThreshold,
+		Workers:         cfg.EngineWorkers,
+	}
+	srv, err := server.New(scfg, fs, tiers.NewHierarchy(stores...), stats, maps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, fs, nil
+}

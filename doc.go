@@ -1,0 +1,43 @@
+// Package hfetch is a reproduction of "HFetch: Hierarchical Data
+// Prefetching for Scientific Workflows in Multi-Tiered Storage
+// Environments" (Devarajan, Kougkas, Sun — IPDPS 2020).
+//
+// HFetch is a server-push, data-centric data prefetcher for deep memory
+// and storage hierarchies (DMSH). Instead of predicting what one
+// application will read next (the client-pull model of classical
+// prefetchers), HFetch watches system-generated file events, scores file
+// segments by access frequency, recency and sequencing — Equation (1):
+//
+//	Score_s(t) = Σ_{i=1..k} (1/p)^{(t-t_i)/n}
+//
+// — and maps the resulting file heatmap onto the tiers of the hierarchy:
+// hotter segments in faster tiers (RAM), colder ones lower (NVMe, burst
+// buffers), with the parallel file system as the origin. The cache is
+// exclusive and spans all tiers, accesses from any process or
+// application contribute to the same global heatmap, and placement is
+// recomputed whenever segment scores change.
+//
+// The package exposes an emulated-cluster deployment: tier and PFS
+// hardware are performance models (latency + bandwidth + channel
+// contention anchored to wall time), applications are goroutines using
+// the Client/File API, and everything else — the event substrate, the
+// distributed hashmap holding segment statistics, the placement engine,
+// the node-to-node communicator — is the real HFetch implementation.
+//
+// Quickstart:
+//
+//	cfg := hfetch.DefaultConfig()
+//	cluster, _ := hfetch.NewCluster(cfg)
+//	defer cluster.Stop()
+//	cluster.CreateFile("data/x", 64<<20)
+//	client := cluster.Node(0).NewClient()
+//	f, _ := client.Open("data/x")
+//	buf := make([]byte, 1<<20)
+//	f.ReadAt(buf, 0) // cold: PFS
+//	cluster.Node(0).Flush()
+//	f.ReadAt(buf, 0) // warm: served from a tier
+//	f.Close()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-figure reproductions.
+package hfetch

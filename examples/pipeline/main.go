@@ -1,0 +1,87 @@
+// Pipeline: the scenario HFetch is designed for — a scientific workflow
+// where a producer writes a dataset once (WORM) and a series of consumer
+// applications read it many times. The producer's epoch ends, a
+// simulation-analysis stage reads the data (cold), and a visualization
+// stage reads it again: by then the global heatmap has placed everything
+// in fast tiers, so the last stage is served almost entirely from the
+// hierarchy even though it never touched the file before — prefetching
+// is data-centric, not application-centric.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hfetch"
+)
+
+const (
+	fileSize = 8 << 20
+	req      = 512 << 10
+	procs    = 4
+)
+
+func main() {
+	cfg := hfetch.DefaultConfig()
+	cfg.SegmentSize = req
+	cfg.EngineUpdateThreshold = 10
+	cfg.SeqBoost = 0.5
+
+	cluster, err := hfetch.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	node := cluster.Node(0)
+
+	// Stage 0 — producer: the simulation writes its output to the PFS.
+	if err := cluster.CreateFile("pipeline/output", fileSize); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("producer:   wrote pipeline/output (8 MiB) to the PFS")
+
+	// Stage 1 — analysis: several ranks scan the dataset.
+	runStage(node, "analysis  ")
+
+	// Stage 2 — visualization: a different application, same data. It
+	// benefits from the heatmap stage 1 built even though it shares no
+	// code or hints with it.
+	node.Flush()
+	runStage(node, "visualizer")
+}
+
+func runStage(node *hfetch.Node, name string) {
+	stats := newSharedStats(node)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			client := stats.client
+			f, err := client.Open("pipeline/output")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			buf := make([]byte, req)
+			// Each rank reads the whole dataset (collective analysis).
+			for off := int64(0); off < fileSize; off += req {
+				if _, err := f.ReadAt(buf, off); err != nil {
+					log.Fatal(err)
+				}
+				time.Sleep(2 * time.Millisecond) // compute on the block
+			}
+		}(p)
+	}
+	wg.Wait()
+	fmt.Printf("%s: %7v  %s\n", name, time.Since(start).Round(time.Millisecond), stats.client.Stats())
+}
+
+type sharedStats struct{ client *hfetch.Client }
+
+func newSharedStats(node *hfetch.Node) *sharedStats {
+	return &sharedStats{client: node.NewClient()}
+}

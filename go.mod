@@ -1,0 +1,3 @@
+module hfetch
+
+go 1.22

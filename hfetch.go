@@ -1,0 +1,313 @@
+package hfetch
+
+import (
+	"fmt"
+	"time"
+
+	"hfetch/internal/comm"
+	"hfetch/internal/core/agent"
+	"hfetch/internal/core/placement"
+	"hfetch/internal/core/score"
+	"hfetch/internal/core/server"
+	"hfetch/internal/devsim"
+	"hfetch/internal/dhm"
+	"hfetch/internal/metrics"
+	"hfetch/internal/pfs"
+	"hfetch/internal/tiers"
+)
+
+// TierSpec describes one tier of the deep memory and storage hierarchy.
+type TierSpec struct {
+	// Name identifies the tier ("ram", "nvme", "bb", ...).
+	Name string
+	// Capacity is the prefetching cache capacity in bytes. For shared
+	// tiers this is the total across the cluster; for local tiers it is
+	// per node.
+	Capacity int64
+	// Latency and Bandwidth model the device; Channels is its internal
+	// parallelism.
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second
+	Channels  int
+	// Shared marks a tier backed by one cluster-wide store (burst
+	// buffers) instead of per-node stores (RAM, NVMe).
+	Shared bool
+}
+
+// PFSSpec models the remote parallel file system.
+type PFSSpec struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second, per server channel
+	Servers   int     // number of storage servers (device channels)
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Nodes is the number of compute nodes (HFetch servers). Default 1.
+	Nodes int
+	// SegmentSize is the prefetching grain in bytes (default 1 MiB).
+	SegmentSize int64
+	// DecayBase is p of Equation (1), ≥ 2 (default 2).
+	DecayBase float64
+	// DecayUnit is one decay time step (default 1s).
+	DecayUnit time.Duration
+	// SeqBoost is the sequencing readahead weight (default 0.5; negative
+	// disables).
+	SeqBoost float64
+	// HeatDir enables heatmap persistence when non-empty.
+	HeatDir string
+	// DaemonThreads is the hardware monitor pool size per server.
+	DaemonThreads int
+	// EngineThreads is the placement engine worker count per server.
+	EngineThreads int
+	// EngineInterval is placement trigger (a) (default 1s).
+	EngineInterval time.Duration
+	// EngineUpdateThreshold is placement trigger (b); use
+	// ReactivenessHigh/Medium/Low (default Medium = 100).
+	EngineUpdateThreshold int
+	// EnableML turns on the learned-scoring extension: an online
+	// logistic model (trained from the cluster's own re-access history)
+	// scales Equation (1) scores by the predicted re-access probability.
+	EnableML bool
+	// TimeScale multiplies all modeled device times (default 1).
+	TimeScale float64
+	// Tiers lists the hierarchy fastest-first. Defaults to
+	// DefaultTiers() when empty.
+	Tiers []TierSpec
+	// PFS models the origin file system.
+	PFS PFSSpec
+}
+
+// Reactiveness presets for Config.EngineUpdateThreshold (paper Fig 3b).
+const (
+	ReactivenessHigh   = placement.High
+	ReactivenessMedium = placement.Medium
+	ReactivenessLow    = placement.Low
+)
+
+// DefaultTiers returns the paper's three-level prefetching cache: RAM,
+// node-local NVMe, and shared burst buffers, with the given capacities.
+func DefaultTiers(ram, nvme, bb int64) []TierSpec {
+	return []TierSpec{
+		{Name: "ram", Capacity: ram, Latency: devsim.RAMProfile.Latency,
+			Bandwidth: devsim.RAMProfile.BytesPerSec, Channels: devsim.RAMProfile.Channels},
+		{Name: "nvme", Capacity: nvme, Latency: devsim.NVMeProfile.Latency,
+			Bandwidth: devsim.NVMeProfile.BytesPerSec, Channels: devsim.NVMeProfile.Channels},
+		{Name: "bb", Capacity: bb, Latency: devsim.BurstBufferProfile.Latency,
+			Bandwidth: devsim.BurstBufferProfile.BytesPerSec, Channels: devsim.BurstBufferProfile.Channels, Shared: true},
+	}
+}
+
+// DefaultConfig returns a single-node configuration with 64 MiB of total
+// prefetching cache split 8/24/32 across RAM/NVMe/burst buffers.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:       1,
+		SegmentSize: 1 << 20,
+		Tiers:       DefaultTiers(8<<20, 24<<20, 32<<20),
+		PFS: PFSSpec{
+			Latency:   devsim.PFSProfile.Latency,
+			Bandwidth: devsim.PFSProfile.BytesPerSec,
+			Servers:   devsim.PFSProfile.Channels,
+		},
+	}
+}
+
+// Cluster is an emulated multi-node HFetch deployment sharing one PFS
+// and one distributed hashmap.
+type Cluster struct {
+	cfg     Config
+	fs      *pfs.FS
+	nodes   []*Node
+	learner *score.Learned
+}
+
+// Node is one compute node: an HFetch server plus its tier hierarchy.
+type Node struct {
+	name string
+	srv  *server.Server
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if len(cfg.Tiers) == 0 {
+		cfg.Tiers = DefaultTiers(8<<20, 24<<20, 32<<20)
+	}
+	pfsProf := devsim.Profile{
+		Name:        "pfs",
+		Latency:     cfg.PFS.Latency,
+		BytesPerSec: cfg.PFS.Bandwidth,
+		Channels:    cfg.PFS.Servers,
+	}
+	fs := pfs.New(devsim.New(pfsProf, cfg.TimeScale))
+
+	// Shared tiers are single store+device instances used by all nodes.
+	shared := make(map[string]*tiers.Store)
+	for _, ts := range cfg.Tiers {
+		if ts.Shared {
+			shared[ts.Name] = newStore(ts, cfg.TimeScale)
+		}
+	}
+
+	// One in-process fabric for the distributed hashmap.
+	names := make([]string, cfg.Nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	net := comm.NewInprocNetwork(nil)
+	dial := inprocDialer{net}
+
+	c := &Cluster{cfg: cfg, fs: fs}
+	if cfg.EnableML {
+		c.learner = score.NewLearned(0, cfg.DecayUnit)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		var stores []*tiers.Store
+		for _, ts := range cfg.Tiers {
+			if ts.Shared {
+				stores = append(stores, shared[ts.Name])
+			} else {
+				stores = append(stores, newStore(ts, cfg.TimeScale))
+			}
+		}
+		hier := tiers.NewHierarchy(stores...)
+
+		mux := comm.NewMux()
+		var dl dhm.Dialer
+		var nodeList []string
+		if cfg.Nodes > 1 {
+			dl = dial
+			nodeList = names
+		}
+		stats := dhm.New(dhm.Config{Name: "hfetch-stats", Self: names[i], Nodes: nodeList, Dialer: dl}, mux)
+		maps := dhm.New(dhm.Config{Name: "hfetch-maps", Self: names[i], Nodes: nodeList, Dialer: dl}, mux)
+		net.Join(names[i], mux)
+
+		var sharedNames []string
+		for _, ts := range cfg.Tiers {
+			if ts.Shared {
+				sharedNames = append(sharedNames, ts.Name)
+			}
+		}
+		srvCfg := server.Config{
+			Node:        names[i],
+			SegmentSize: cfg.SegmentSize,
+			Score:       score.Params{P: cfg.DecayBase, Unit: cfg.DecayUnit},
+			SeqBoost:    cfg.SeqBoost,
+			HeatDir:     cfg.HeatDir,
+			SharedTiers: sharedNames,
+			Learner:     c.learner,
+		}
+		srvCfg.Monitor.Daemons = cfg.DaemonThreads
+		srvCfg.Engine = placement.Config{
+			Interval:        cfg.EngineInterval,
+			UpdateThreshold: cfg.EngineUpdateThreshold,
+			Workers:         cfg.EngineThreads,
+		}
+		srv, err := server.New(srvCfg, fs, hier, stats, maps)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Nodes > 1 {
+			srv.EnableRemote(mux, dial)
+		}
+		srv.Start()
+		c.nodes = append(c.nodes, &Node{name: names[i], srv: srv})
+	}
+	return c, nil
+}
+
+func newStore(ts TierSpec, scale float64) *tiers.Store {
+	dev := devsim.New(devsim.Profile{
+		Name: ts.Name, Latency: ts.Latency, BytesPerSec: ts.Bandwidth, Channels: ts.Channels,
+	}, scale)
+	return tiers.NewStore(ts.Name, ts.Capacity, dev)
+}
+
+type inprocDialer struct{ net *comm.InprocNetwork }
+
+func (d inprocDialer) Dial(node string) comm.Peer { return d.net.Dial(node) }
+
+// Stop shuts down every node.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.srv.Stop()
+	}
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// CreateFile registers a synthetic file of the given size in the PFS.
+func (c *Cluster) CreateFile(name string, size int64) error {
+	return c.fs.Create(name, size)
+}
+
+// FS exposes the emulated parallel file system.
+func (c *Cluster) FS() *pfs.FS { return c.fs }
+
+// MLStats reports the learned-scoring extension's training progress:
+// positive and negative examples absorbed. ok is false when EnableML
+// was not set.
+func (c *Cluster) MLStats() (pos, neg int64, ok bool) {
+	if c.learner == nil {
+		return 0, 0, false
+	}
+	pos, neg = c.learner.Examples()
+	return pos, neg, true
+}
+
+// Name returns the node's cluster name.
+func (n *Node) Name() string { return n.name }
+
+// Server exposes the node's HFetch server (advanced use: metrics,
+// hierarchy inspection).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Flush synchronously drains pending events and runs a placement pass.
+func (n *Node) Flush() { n.srv.Flush() }
+
+// NewClient creates a client (application process) attached to this
+// node's server. Clients sharing one application should share stats via
+// NewClientWithStats.
+func (n *Node) NewClient() *Client {
+	return n.NewClientWithStats(nil)
+}
+
+// NewClientWithStats creates a client recording into the given stats
+// collector (nil allocates a private one).
+func (n *Node) NewClientWithStats(stats *metrics.IOStats) *Client {
+	return &Client{agent: agent.New(n.srv, n.srv.FS(), stats)}
+}
+
+// Client is an application's connection to HFetch (the agent).
+type Client struct {
+	agent *agent.Agent
+}
+
+// Open opens a file for reading and begins its prefetching epoch.
+func (c *Client) Open(name string) (*File, error) {
+	f, err := c.agent.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f}, nil
+}
+
+// Stats returns the client's I/O statistics (hits, misses, per-tier).
+func (c *Client) Stats() *metrics.IOStats { return c.agent.Stats() }
+
+// File is an open file handle; reads are transparently served from the
+// hierarchy.
+type File struct {
+	*agent.File
+}

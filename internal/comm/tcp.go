@@ -1,0 +1,246 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// envelope is the wire format: a gob stream of envelopes per connection.
+type envelope struct {
+	ID      uint64
+	Kind    uint8 // 0 request, 1 response, 2 one-way
+	Type    string
+	Payload []byte
+	Err     string
+}
+
+const (
+	kindRequest = iota
+	kindResponse
+	kindOneway
+)
+
+// TCPServer serves a Mux over TCP. Each accepted connection carries a
+// multiplexed gob stream of envelopes; responses are written back on the
+// same connection tagged with the request ID.
+type TCPServer struct {
+	mux *Mux
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts a server for mux on addr ("host:port", ":0" for an
+// ephemeral port).
+func ListenTCP(addr string, mux *Mux) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{mux: mux, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // io.EOF or broken conn
+		}
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			resp, err := s.mux.Dispatch(env.Type, env.Payload)
+			if env.Kind == kindOneway {
+				return
+			}
+			out := envelope{ID: env.ID, Kind: kindResponse, Payload: resp}
+			if err != nil {
+				out.Err = err.Error()
+				out.Payload = nil
+			}
+			wmu.Lock()
+			enc.Encode(out) //nolint:errcheck // conn teardown handles failures
+			wmu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and tears down all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// tcpPeer is a client connection with request multiplexing.
+type tcpPeer struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	wmu    sync.Mutex
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan envelope
+	closed  bool
+	readErr error
+}
+
+// DialTCP connects to a TCPServer at addr.
+func DialTCP(addr string) (Peer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+	}
+	p := &tcpPeer{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan envelope),
+	}
+	go p.readLoop()
+	return p, nil
+}
+
+func (p *tcpPeer) readLoop() {
+	dec := gob.NewDecoder(p.conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			p.mu.Lock()
+			p.readErr = err
+			for id, ch := range p.pending {
+				close(ch)
+				delete(p.pending, id)
+			}
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Lock()
+		ch := p.pending[env.ID]
+		delete(p.pending, env.ID)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- env
+		}
+	}
+}
+
+func (p *tcpPeer) Request(msgType string, payload []byte) ([]byte, error) {
+	id := p.nextID.Add(1)
+	ch := make(chan envelope, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	env := envelope{ID: id, Kind: kindRequest, Type: msgType, Payload: payload}
+	p.wmu.Lock()
+	err := p.enc.Encode(env)
+	p.wmu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("comm: send: %w", err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		p.mu.Lock()
+		rerr := p.readErr
+		p.mu.Unlock()
+		if rerr == nil || rerr == io.EOF {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("comm: connection lost: %w", rerr)
+	}
+	if resp.Err != "" {
+		return nil, remoteError{msg: resp.Err}
+	}
+	return resp.Payload, nil
+}
+
+func (p *tcpPeer) Notify(msgType string, payload []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	env := envelope{Kind: kindOneway, Type: msgType, Payload: payload}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := p.enc.Encode(env); err != nil {
+		return fmt.Errorf("comm: notify: %w", err)
+	}
+	return nil
+}
+
+func (p *tcpPeer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	return p.conn.Close()
+}

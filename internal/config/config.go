@@ -1,0 +1,154 @@
+// Package config defines the JSON configuration cmd/hfetchd consumes: a
+// user-defined description of the node's storage hierarchy (the hardware
+// monitor discovers tiers from it), the scoring and engine parameters,
+// and optionally a set of synthetic files to register at boot.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Tier describes one tier of the deep memory and storage hierarchy.
+type Tier struct {
+	Name          string  `json:"name"`
+	CapacityBytes int64   `json:"capacity_bytes"`
+	LatencyUS     float64 `json:"latency_us"`
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	Channels      int     `json:"channels"`
+	Shared        bool    `json:"shared"`
+}
+
+// PFS describes the origin parallel file system.
+type PFS struct {
+	LatencyUS     float64 `json:"latency_us"`
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	Servers       int     `json:"servers"`
+}
+
+// File pre-registers a synthetic file at boot.
+type File struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// Config is the root document.
+type Config struct {
+	Node   string `json:"node"`
+	Listen string `json:"listen"`
+	// HTTPListen serves the read-only status API (/healthz, /stats,
+	// /tiers, /metrics) when non-empty.
+	HTTPListen string `json:"http_listen,omitempty"`
+
+	SegmentSize int64   `json:"segment_size"`
+	DecayBase   float64 `json:"decay_base"`
+	DecayUnitMS int     `json:"decay_unit_ms"`
+	SeqBoost    float64 `json:"seq_boost"`
+	HeatDir     string  `json:"heat_dir"`
+	WALPath     string  `json:"wal_path"`
+
+	Daemons               int `json:"daemons"`
+	EngineWorkers         int `json:"engine_workers"`
+	EngineIntervalMS      int `json:"engine_interval_ms"`
+	EngineUpdateThreshold int `json:"engine_update_threshold"`
+
+	TimeScale float64 `json:"time_scale"`
+	Tiers     []Tier  `json:"tiers"`
+	PFS       PFS     `json:"pfs"`
+	Files     []File  `json:"files"`
+}
+
+// Default returns a single-node development configuration.
+func Default() Config {
+	return Config{
+		Node:                  "node0",
+		Listen:                "127.0.0.1:7070",
+		SegmentSize:           1 << 20,
+		DecayBase:             2,
+		DecayUnitMS:           1000,
+		SeqBoost:              0.5,
+		Daemons:               4,
+		EngineWorkers:         4,
+		EngineIntervalMS:      1000,
+		EngineUpdateThreshold: 100,
+		TimeScale:             1,
+		Tiers: []Tier{
+			{Name: "ram", CapacityBytes: 64 << 20, LatencyUS: 0.2, BandwidthMBps: 8000, Channels: 8},
+			{Name: "nvme", CapacityBytes: 192 << 20, LatencyUS: 30, BandwidthMBps: 2000, Channels: 4},
+			{Name: "bb", CapacityBytes: 256 << 20, LatencyUS: 250, BandwidthMBps: 1000, Channels: 4, Shared: true},
+		},
+		PFS: PFS{LatencyUS: 3000, BandwidthMBps: 400, Servers: 6},
+	}
+}
+
+// Load reads and validates a config file.
+func Load(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	cfg := Default()
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return Config{}, fmt.Errorf("config: parse %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the configuration for inconsistencies.
+func (c Config) Validate() error {
+	if c.Node == "" {
+		return fmt.Errorf("config: node name required")
+	}
+	if c.SegmentSize <= 0 {
+		return fmt.Errorf("config: segment_size must be positive, got %d", c.SegmentSize)
+	}
+	if c.DecayBase < 2 {
+		return fmt.Errorf("config: decay_base must be >= 2, got %g", c.DecayBase)
+	}
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("config: at least one tier required")
+	}
+	seen := map[string]bool{}
+	for i, t := range c.Tiers {
+		if t.Name == "" {
+			return fmt.Errorf("config: tier %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("config: duplicate tier %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.CapacityBytes <= 0 {
+			return fmt.Errorf("config: tier %q capacity must be positive", t.Name)
+		}
+	}
+	for i, f := range c.Files {
+		if f.Name == "" || f.Size < 0 {
+			return fmt.Errorf("config: file %d invalid (%q, %d bytes)", i, f.Name, f.Size)
+		}
+	}
+	return nil
+}
+
+// DecayUnit returns the decay step as a duration.
+func (c Config) DecayUnit() time.Duration {
+	return time.Duration(c.DecayUnitMS) * time.Millisecond
+}
+
+// EngineInterval returns trigger (a) as a duration.
+func (c Config) EngineInterval() time.Duration {
+	return time.Duration(c.EngineIntervalMS) * time.Millisecond
+}
+
+// Save writes the configuration as indented JSON.
+func (c Config) Save(path string) error {
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,333 @@
+package agent
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"hfetch/internal/core/placement"
+	"hfetch/internal/core/server"
+	"hfetch/internal/tiers"
+
+	"hfetch/internal/pfs"
+)
+
+// rig builds a single-node in-process HFetch deployment with free
+// devices and a fully reactive engine.
+type rig struct {
+	fs  *pfs.FS
+	srv *server.Server
+}
+
+func newRig(t *testing.T, ramCap, nvmeCap int64) *rig {
+	t.Helper()
+	fs := pfs.New(nil)
+	ram := tiers.NewStore("ram", ramCap, nil)
+	nvme := tiers.NewStore("nvme", nvmeCap, nil)
+	hier := tiers.NewHierarchy(ram, nvme)
+	stats, maps := server.NewLocalMaps("n0")
+	srv, err := server.New(server.Config{
+		SegmentSize: 1024,
+		Engine:      placement.Config{UpdateThreshold: placement.High},
+	}, fs, hier, stats, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return &rig{fs: fs, srv: srv}
+}
+
+func TestOpenMissingFileFails(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	a := New(r.srv, r.fs, nil)
+	if _, err := a.Open("nope"); err == nil {
+		t.Fatal("opening a missing file must fail")
+	}
+}
+
+func TestFirstReadMissesSecondReadHits(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	r.fs.Create("f", 64*1024)
+	a := New(r.srv, r.fs, nil)
+	f, err := a.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Hits() != 0 {
+		t.Fatal("cold read must miss")
+	}
+	r.srv.Flush() // let the engine place the just-read segments
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Hits() == 0 {
+		t.Fatalf("warm read must hit; stats: %s", a.Stats())
+	}
+	f.Close()
+}
+
+func TestReadDataIntegrityAcrossTiers(t *testing.T) {
+	r := newRig(t, 8*1024, 16*1024) // small tiers force mixed hit/miss reads
+	const size = 64 * 1024
+	r.fs.Create("f", size)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	defer f.Close()
+
+	want := make([]byte, size)
+	r.fs.ReadAt("f", 0, want)
+
+	got := make([]byte, size)
+	for pass := 0; pass < 3; pass++ {
+		for off := 0; off < size; off += 4096 {
+			if _, err := f.ReadAt(got[off:off+4096], int64(off)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pass %d: data served from tiers differs from PFS content", pass)
+		}
+		r.srv.Flush()
+	}
+	if a.Stats().Hits() == 0 {
+		t.Fatal("later passes should have tier hits")
+	}
+}
+
+func TestReadAtEOFSemantics(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	r.fs.Create("f", 1000)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	defer f.Close()
+	buf := make([]byte, 400)
+	n, err := f.ReadAt(buf, 800) // short read
+	if err != nil || n != 200 {
+		t.Fatalf("short read = %d %v, want 200", n, err)
+	}
+	n, err = f.ReadAt(buf, 2000) // beyond EOF
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF = %d %v, want 0", n, err)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset must error")
+	}
+}
+
+func TestReadSpanningSegmentsAssembles(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	const size = 16 * 1024
+	r.fs.Create("f", size)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	defer f.Close()
+	// Warm the cache.
+	tmp := make([]byte, size)
+	f.ReadAt(tmp, 0)
+	r.srv.Flush()
+	// Read a range crossing three segment boundaries, half-warm.
+	want := make([]byte, 3000)
+	r.fs.ReadAt("f", 500, want)
+	got := make([]byte, 3000)
+	n, err := f.ReadAt(got, 500)
+	if err != nil || n != 3000 {
+		t.Fatalf("spanning read = %d %v", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("spanning read assembled wrong data")
+	}
+}
+
+func TestCloseEndsEpochAndBlocksIO(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	r.fs.Create("f", 1000)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	if !r.srv.Registry().Watched("f") {
+		t.Fatal("open must install a watch")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.srv.Registry().Watched("f") {
+		t.Fatal("last close must remove the watch")
+	}
+	if _, err := f.ReadAt(make([]byte, 10), 0); err == nil {
+		t.Fatal("read after close must fail")
+	}
+	if err := f.WriteAt(0, 10); err == nil {
+		t.Fatal("write after close must fail")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestWriteInvalidatesPrefetchedData(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	const size = 8 * 1024
+	r.fs.Create("f", size)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	defer f.Close()
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0)
+	r.srv.Flush()
+	if r.srv.Hierarchy().TotalUsed() == 0 {
+		t.Fatal("segments should be prefetched before the write")
+	}
+	if err := f.WriteAt(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Flush()
+	if got := r.srv.Hierarchy().TotalUsed(); got != 0 {
+		t.Fatalf("prefetched data must be invalidated after a write; %d bytes resident", got)
+	}
+	// Post-invalidation reads must see the new version.
+	want := make([]byte, 1024)
+	r.fs.ReadAt("f", 0, want)
+	got := make([]byte, 1024)
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("stale data served after invalidation")
+	}
+}
+
+func TestWriteExtendsSize(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	r.fs.Create("f", 1000)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	defer f.Close()
+	if err := f.WriteAt(1500, 500); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	n, err := f.ReadAt(buf, 1900)
+	if err != nil || n != 100 {
+		t.Fatalf("read in extended region = %d %v", n, err)
+	}
+}
+
+func TestSharedEpochAcrossAgents(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	r.fs.Create("f", 4096)
+	a1 := New(r.srv, r.fs, nil)
+	a2 := New(r.srv, r.fs, nil)
+	f1, _ := a1.Open("f")
+	f2, _ := a2.Open("f")
+	f1.Close()
+	if !r.srv.Registry().Watched("f") {
+		t.Fatal("watch must survive while any reader is open")
+	}
+	f2.Close()
+	if r.srv.Registry().Watched("f") {
+		t.Fatal("watch must be removed by the last closer")
+	}
+}
+
+func TestCrossAgentPrefetchSharing(t *testing.T) {
+	// The data-centric property: agent 1's accesses warm the cache for
+	// agent 2, which never read the file before.
+	r := newRig(t, 1<<20, 1<<20)
+	const size = 32 * 1024
+	r.fs.Create("f", size)
+	a1 := New(r.srv, r.fs, nil)
+	f1, _ := a1.Open("f")
+	buf := make([]byte, size)
+	f1.ReadAt(buf, 0)
+	r.srv.Flush()
+
+	a2 := New(r.srv, r.fs, nil)
+	f2, _ := a2.Open("f")
+	defer f2.Close()
+	f2.ReadAt(buf, 0)
+	if a2.Stats().Hits() == 0 {
+		t.Fatal("second application must benefit from the first's accesses")
+	}
+	f1.Close()
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	const size = 64 * 1024
+	r.fs.Create("f", size)
+	want := make([]byte, size)
+	r.fs.ReadAt("f", 0, want)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := New(r.srv, r.fs, nil)
+			f, err := a.Open("f")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			got := make([]byte, 4096)
+			for off := 0; off < size; off += 4096 {
+				if _, err := f.ReadAt(got, int64(off)); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, want[off:off+4096]) {
+					errs <- bytes.ErrTooLarge // sentinel for mismatch
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialReadAndSeek(t *testing.T) {
+	r := newRig(t, 1<<20, 1<<20)
+	r.fs.Create("f", 1000)
+	a := New(r.srv, r.fs, nil)
+	f, _ := a.Open("f")
+	defer f.Close()
+
+	want := make([]byte, 1000)
+	r.fs.ReadAt("f", 0, want)
+
+	got, err := io.ReadAll(f)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("ReadAll = %d bytes, %v", len(got), err)
+	}
+	// Rewind and re-read a slice.
+	if _, err := f.Seek(100, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 50)
+	n, err := f.Read(buf)
+	if err != nil || n != 50 || !bytes.Equal(buf, want[100:150]) {
+		t.Fatalf("post-seek read = %d %v", n, err)
+	}
+	// SeekCurrent and SeekEnd.
+	if pos, _ := f.Seek(-50, io.SeekCurrent); pos != 100 {
+		t.Fatalf("SeekCurrent pos = %d", pos)
+	}
+	if pos, _ := f.Seek(-100, io.SeekEnd); pos != 900 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	if _, err := f.Seek(-5000, io.SeekCurrent); err == nil {
+		t.Fatal("negative position must error")
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence must error")
+	}
+}

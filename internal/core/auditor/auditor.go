@@ -1,0 +1,637 @@
+// Package auditor implements HFetch's file segment auditor. For every
+// file segment it maintains access frequency, recency, and segment
+// sequencing (which segment access preceded it), computes the segment
+// score of Equation (1), and keeps both the statistics and the
+// segment-to-tier mappings in the distributed hashmap so the whole
+// cluster shares one view of how files are accessed — without a global
+// synchronization barrier.
+//
+// The auditor is driven by the hardware monitor's event stream. Every
+// score change is pushed to a Sink (the hierarchical data placement
+// engine), which is what makes HFetch server-push: prefetching is
+// triggered by score changes, not by application requests.
+package auditor
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfetch/internal/core/heatmap"
+	"hfetch/internal/core/score"
+	"hfetch/internal/core/seg"
+	"hfetch/internal/dhm"
+	"hfetch/internal/events"
+)
+
+func init() {
+	gob.Register(&Rec{})
+}
+
+// Rec is the per-segment record stored in the distributed hashmap.
+// Stored records are copy-on-write: mutators return fresh copies, so a
+// snapshot read never races with later updates.
+type Rec struct {
+	Stats score.Stats
+	// Size is the segment payload size in bytes (clipped at EOF).
+	Size int64
+	// Succ is the index of the segment observed to follow this one in
+	// the global access stream; -1 when unknown.
+	Succ int64
+}
+
+// Update notifies the placement engine that a segment's score changed.
+type Update struct {
+	ID    seg.ID
+	Score float64
+	Size  int64
+}
+
+// Sink receives score updates and invalidations. Implemented by the
+// hierarchical data placement engine.
+type Sink interface {
+	ScoreUpdated(Update)
+	FileInvalidated(file string)
+}
+
+// Config configures an Auditor.
+type Config struct {
+	// Node is this node's cluster name, recorded in segment mappings so
+	// remote readers know which node's tier holds a segment.
+	Node string
+	// Segmenter defines the fixed segment grain.
+	Segmenter *seg.Segmenter
+	// Score are the Equation (1) parameters.
+	Score score.Params
+	// SeqBoost is the anticipatory weight given to a segment's known
+	// successor on each access (0 disables sequencing readahead).
+	// Defaults to 0.5.
+	SeqBoost float64
+	// Heatmaps, when non-nil, persists per-file heatmaps across epochs.
+	Heatmaps *heatmap.Store
+	// HeatDecay scales scores adopted from a stored heatmap (default 0.7).
+	HeatDecay float64
+	// Learner, when non-nil, enables the ML scoring extension: emitted
+	// scores are blended with the learned re-access probability, and the
+	// auditor feeds the model online (re-accesses as positives, one-shot
+	// segments as negatives at epoch end).
+	Learner *score.Learned
+}
+
+// Stats reports auditor counters.
+type Stats struct {
+	Events        int64
+	Reads         int64
+	Writes        int64
+	Invalidations int64
+	SegmentsSeen  int64
+}
+
+type epochState struct {
+	opens   int
+	size    int64
+	lastIdx int64
+}
+
+// Auditor is safe for concurrent use; many monitor daemons call
+// HandleEvent in parallel.
+type Auditor struct {
+	cfg   Config
+	model *score.Model
+	stats *dhm.Map // "s|file|idx" -> *Rec
+	maps  *dhm.Map // "m|file|idx" -> tier name (string)
+
+	sink atomic.Pointer[sinkBox]
+
+	mu     sync.Mutex
+	epochs map[string]*epochState
+
+	ctr struct {
+		events, reads, writes, invalidations, segs atomic.Int64
+	}
+}
+
+type sinkBox struct{ s Sink }
+
+// New creates an auditor over the given stats and mapping hashmaps (they
+// may be the same dhm.Map; keys are prefixed). The maps must be backed
+// by the same cluster on every node.
+func New(cfg Config, stats, maps *dhm.Map) *Auditor {
+	if cfg.Segmenter == nil {
+		cfg.Segmenter = seg.NewSegmenter(0)
+	}
+	if cfg.SeqBoost == 0 {
+		cfg.SeqBoost = 0.5
+	}
+	if cfg.SeqBoost < 0 {
+		cfg.SeqBoost = 0
+	}
+	if cfg.HeatDecay <= 0 || cfg.HeatDecay > 1 {
+		cfg.HeatDecay = 0.7
+	}
+	a := &Auditor{
+		cfg:    cfg,
+		model:  score.NewModel(cfg.Score),
+		stats:  stats,
+		maps:   maps,
+		epochs: make(map[string]*epochState),
+	}
+	a.registerOps()
+	return a
+}
+
+// SetSink installs the placement engine; may be changed at runtime.
+func (a *Auditor) SetSink(s Sink) {
+	a.sink.Store(&sinkBox{s: s})
+}
+
+func (a *Auditor) emit(u Update) {
+	if box := a.sink.Load(); box != nil && box.s != nil {
+		box.s.ScoreUpdated(u)
+	}
+}
+
+func (a *Auditor) invalidate(file string) {
+	if box := a.sink.Load(); box != nil && box.s != nil {
+		box.s.FileInvalidated(file)
+	}
+}
+
+// Segmenter returns the segment grain in use.
+func (a *Auditor) Segmenter() *seg.Segmenter { return a.cfg.Segmenter }
+
+// Model returns the scoring model.
+func (a *Auditor) Model() *score.Model { return a.model }
+
+func statKey(id seg.ID) string { return fmt.Sprintf("s|%s|%d", id.File, id.Index) }
+func mapKey(id seg.ID) string  { return fmt.Sprintf("m|%s|%d", id.File, id.Index) }
+
+// ---- distributed mutators ----
+
+// Op names registered on the stats map. Every node must construct its
+// Auditor before remote applies arrive (New registers them).
+const (
+	opAccess = "aud.access" // arg: ts(8) | size(8)
+	opRef    = "aud.ref"    // arg: ts(8) | weightBits(8)
+	opLink   = "aud.link"   // arg: succ(8)
+	opAddRef = "aud.addref" // arg: none
+	opSeed   = "aud.seed"   // arg: scoreBits(8) | refs(8) | succ(8) | size(8) | ts(8)
+)
+
+func (a *Auditor) registerOps() {
+	a.stats.RegisterOp(opAccess, func(cur any, arg []byte) any {
+		ts := time.Unix(0, int64(binary.BigEndian.Uint64(arg[0:8])))
+		size := int64(binary.BigEndian.Uint64(arg[8:16]))
+		nr := a.copyRec(cur)
+		a.model.OnAccess(&nr.Stats, ts)
+		if size > 0 {
+			nr.Size = size
+		}
+		return nr
+	})
+	a.stats.RegisterOp(opRef, func(cur any, arg []byte) any {
+		ts := time.Unix(0, int64(binary.BigEndian.Uint64(arg[0:8])))
+		w := math.Float64frombits(binary.BigEndian.Uint64(arg[8:16]))
+		nr := a.copyRec(cur)
+		a.model.OnRef(&nr.Stats, ts, w)
+		return nr
+	})
+	a.stats.RegisterOp(opLink, func(cur any, arg []byte) any {
+		succ := int64(binary.BigEndian.Uint64(arg[0:8]))
+		nr := a.copyRec(cur)
+		nr.Succ = succ
+		return nr
+	})
+	a.stats.RegisterOp(opAddRef, func(cur any, arg []byte) any {
+		nr := a.copyRec(cur)
+		a.model.AddRef(&nr.Stats, time.Now())
+		return nr
+	})
+	a.stats.RegisterOp(opSeed, func(cur any, arg []byte) any {
+		if cur != nil {
+			return cur // never clobber live statistics with history
+		}
+		nr := &Rec{Succ: -1}
+		nr.Stats.Sum = math.Float64frombits(binary.BigEndian.Uint64(arg[0:8]))
+		nr.Stats.Refs = int64(binary.BigEndian.Uint64(arg[8:16]))
+		nr.Succ = int64(binary.BigEndian.Uint64(arg[16:24]))
+		nr.Size = int64(binary.BigEndian.Uint64(arg[24:32]))
+		nr.Stats.Last = time.Unix(0, int64(binary.BigEndian.Uint64(arg[32:40])))
+		if nr.Stats.Refs < 1 {
+			nr.Stats.Refs = 1
+		}
+		return nr
+	})
+}
+
+func (a *Auditor) copyRec(cur any) *Rec {
+	if cur == nil {
+		a.ctr.segs.Add(1)
+		return &Rec{Succ: -1}
+	}
+	old := cur.(*Rec)
+	nr := *old
+	return &nr
+}
+
+// ---- epoch management ----
+
+// StartEpoch begins (or joins) a prefetching epoch for file. The first
+// opener triggers heatmap loading; the return value reports whether this
+// call opened the epoch (i.e. a watch should be installed).
+func (a *Auditor) StartEpoch(file string, size int64) bool {
+	a.mu.Lock()
+	es := a.epochs[file]
+	if es == nil {
+		es = &epochState{size: size, lastIdx: -1}
+		a.epochs[file] = es
+	}
+	es.opens++
+	first := es.opens == 1
+	if size > es.size {
+		es.size = size
+	}
+	a.mu.Unlock()
+	if first {
+		a.loadHeatmap(file, size)
+	}
+	return first
+}
+
+// EndEpoch ends one participant's epoch; the last closer persists the
+// heatmap. The return value reports whether the epoch fully closed
+// (i.e. the watch should be removed).
+func (a *Auditor) EndEpoch(file string) bool {
+	a.mu.Lock()
+	es := a.epochs[file]
+	if es == nil {
+		a.mu.Unlock()
+		return false
+	}
+	es.opens--
+	last := es.opens <= 0
+	var size int64
+	if last {
+		size = es.size
+		delete(a.epochs, file)
+	}
+	a.mu.Unlock()
+	if last {
+		a.finishEpoch(file, size)
+	}
+	return last
+}
+
+// finishEpoch runs last-closer work: negative examples for the ML
+// extension (segments touched exactly once this epoch) and heatmap
+// persistence.
+func (a *Auditor) finishEpoch(file string, size int64) {
+	if a.cfg.Learner != nil {
+		now := time.Now()
+		n := a.cfg.Segmenter.Count(size)
+		for i := int64(0); i < n; i++ {
+			v, ok, err := a.stats.Get(statKey(seg.ID{File: file, Index: i}))
+			if err != nil || !ok {
+				continue
+			}
+			rec := v.(*Rec)
+			if rec.Stats.K == 1 {
+				a.cfg.Learner.Observe(1, rec.Stats.Last, rec.Stats.Refs, now, false)
+			}
+		}
+	}
+	a.saveHeatmap(file, size)
+}
+
+// EpochOpen reports whether file is inside a prefetching epoch.
+func (a *Auditor) EpochOpen(file string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epochs[file] != nil
+}
+
+func (a *Auditor) loadHeatmap(file string, size int64) {
+	if a.cfg.Heatmaps == nil {
+		return
+	}
+	h, err := a.cfg.Heatmaps.Load(file)
+	if err != nil || h == nil {
+		return
+	}
+	now := time.Now()
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(now.UnixNano()))
+	for _, e := range h.Entries {
+		id := seg.ID{File: file, Index: e.Index}
+		segSize := a.cfg.Segmenter.RangeOf(id, size).Len
+		if segSize <= 0 {
+			continue
+		}
+		arg := make([]byte, 40)
+		binary.BigEndian.PutUint64(arg[0:8], math.Float64bits(e.Score*a.cfg.HeatDecay))
+		binary.BigEndian.PutUint64(arg[8:16], uint64(e.Refs))
+		binary.BigEndian.PutUint64(arg[16:24], uint64(e.Succ))
+		binary.BigEndian.PutUint64(arg[24:32], uint64(segSize))
+		copy(arg[32:40], ts[:])
+		v, err := a.stats.Apply(statKey(id), opSeed, arg)
+		if err != nil || v == nil {
+			continue
+		}
+		rec := v.(*Rec)
+		s := a.model.Score(&rec.Stats, now)
+		if s > 0 {
+			a.emit(Update{ID: id, Score: s, Size: rec.Size})
+		}
+	}
+}
+
+func (a *Auditor) saveHeatmap(file string, size int64) {
+	if a.cfg.Heatmaps == nil {
+		return
+	}
+	h := heatmap.New(file, a.cfg.Segmenter.Size())
+	now := time.Now()
+	n := a.cfg.Segmenter.Count(size)
+	for i := int64(0); i < n; i++ {
+		id := seg.ID{File: file, Index: i}
+		v, ok, err := a.stats.Get(statKey(id))
+		if err != nil || !ok {
+			continue
+		}
+		rec := v.(*Rec)
+		s := a.model.Score(&rec.Stats, now)
+		if s <= 0 && rec.Stats.K == 0 {
+			continue
+		}
+		h.Add(heatmap.Entry{Index: i, Score: s, K: rec.Stats.K, Refs: rec.Stats.Refs, Succ: rec.Succ})
+	}
+	if h.Len() == 0 {
+		return
+	}
+	if old, err := a.cfg.Heatmaps.Load(file); err == nil {
+		h.Merge(old, a.cfg.HeatDecay)
+	}
+	a.cfg.Heatmaps.Save(h) //nolint:errcheck // heatmaps are an optional optimization
+}
+
+// ---- event handling ----
+
+// HandleEvent processes one monitored event; called by the monitor's
+// daemon pool.
+func (a *Auditor) HandleEvent(ev events.Event) {
+	a.ctr.events.Add(1)
+	switch ev.Op {
+	case events.OpRead:
+		a.ctr.reads.Add(1)
+		a.handleRead(ev)
+	case events.OpWrite:
+		a.ctr.writes.Add(1)
+		a.handleWrite(ev)
+	case events.OpCapacity, events.OpOpen, events.OpClose:
+		// Capacity is consumed for metrics; open/close epochs arrive via
+		// the agent manager's StartEpoch/EndEpoch.
+	}
+}
+
+func (a *Auditor) handleRead(ev events.Event) {
+	ids := a.cfg.Segmenter.Cover(ev.File, ev.Offset, ev.Length)
+	if len(ids) == 0 {
+		return
+	}
+	a.mu.Lock()
+	es := a.epochs[ev.File]
+	var prev int64 = -1
+	var fileSize int64
+	if es != nil {
+		prev = es.lastIdx
+		es.lastIdx = ids[len(ids)-1].Index
+		fileSize = es.size
+	}
+	a.mu.Unlock()
+
+	ts := ev.Time
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	var tsb [8]byte
+	binary.BigEndian.PutUint64(tsb[:], uint64(ts.UnixNano()))
+
+	for _, id := range ids {
+		segSize := a.cfg.Segmenter.RangeOf(id, fileSize).Len
+		if segSize <= 0 {
+			segSize = a.cfg.Segmenter.Size()
+		}
+		arg := make([]byte, 16)
+		copy(arg[0:8], tsb[:])
+		binary.BigEndian.PutUint64(arg[8:16], uint64(segSize))
+		v, err := a.stats.Apply(statKey(id), opAccess, arg)
+		if err != nil {
+			continue
+		}
+		rec := v.(*Rec)
+		sc := a.model.Score(&rec.Stats, ts)
+		if a.cfg.Learner != nil {
+			sc = a.learnAndBlend(rec, ts, sc)
+		}
+		a.emit(Update{ID: id, Score: sc, Size: rec.Size})
+
+		// Sequencing readahead: boost the known successor of every
+		// accessed segment so it climbs the hierarchy ahead of its read.
+		if rec.Succ >= 0 && rec.Succ != id.Index && a.cfg.SeqBoost > 0 {
+			a.boost(seg.ID{File: id.File, Index: rec.Succ}, ts, fileSize)
+		}
+	}
+
+	// Learn the predecessor link from the last segment of the previous
+	// read to the first segment of this one.
+	if a.cfg.SeqBoost > 0 {
+		a.learnLink(ev.File, prev, ids[0].Index)
+	}
+}
+
+// learnLink records that segment prev is followed by cur, increasing
+// cur's reference count when the link is new.
+func (a *Auditor) learnLink(file string, prev, cur int64) {
+	if prev < 0 || prev == cur {
+		return
+	}
+	prevID := seg.ID{File: file, Index: prev}
+	v, ok, err := a.stats.Get(statKey(prevID))
+	if err != nil || !ok {
+		return
+	}
+	if v.(*Rec).Succ == cur {
+		return // link already known
+	}
+	var arg [8]byte
+	binary.BigEndian.PutUint64(arg[:], uint64(cur))
+	a.stats.Apply(statKey(prevID), opLink, arg[:])                        //nolint:errcheck
+	a.stats.Apply(statKey(seg.ID{File: file, Index: cur}), opAddRef, nil) //nolint:errcheck
+}
+
+// boost applies the anticipatory sequencing weight to id.
+func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64) {
+	arg := make([]byte, 16)
+	binary.BigEndian.PutUint64(arg[0:8], uint64(ts.UnixNano()))
+	binary.BigEndian.PutUint64(arg[8:16], math.Float64bits(a.cfg.SeqBoost))
+	v, err := a.stats.Apply(statKey(id), opRef, arg)
+	if err != nil {
+		return
+	}
+	rec := v.(*Rec)
+	size := rec.Size
+	if size == 0 {
+		size = a.cfg.Segmenter.RangeOf(id, fileSize).Len
+		if size <= 0 {
+			size = a.cfg.Segmenter.Size()
+		}
+	}
+	a.emit(Update{ID: id, Score: a.model.Score(&rec.Stats, ts), Size: size})
+}
+
+// learnAndBlend feeds the learner a positive example for the segment's
+// pre-access state (this access proves it was re-accessed) and blends
+// the analytic score with the predicted re-access probability.
+func (a *Auditor) learnAndBlend(rec *Rec, ts time.Time, analytic float64) float64 {
+	st := &rec.Stats
+	if st.K >= 2 && len(st.History) >= 2 {
+		prevLast := st.History[len(st.History)-2]
+		a.cfg.Learner.Observe(st.K-1, prevLast, st.Refs, ts, true)
+	}
+	p := a.cfg.Learner.Predict(st.K, st.Last, st.Refs, ts)
+	return score.Blend(analytic, p)
+}
+
+func (a *Auditor) handleWrite(ev events.Event) {
+	a.ctr.invalidations.Add(1)
+	// Consistency: a write from any application invalidates prefetched
+	// data for the file. Mappings are cleared by the engine (which owns
+	// the tier residents); statistics survive, the data does not.
+	a.invalidate(ev.File)
+}
+
+// ---- queries ----
+
+// SegmentRec returns a snapshot of the stats record for id.
+func (a *Auditor) SegmentRec(id seg.ID) (*Rec, bool) {
+	v, ok, err := a.stats.Get(statKey(id))
+	if err != nil || !ok {
+		return nil, false
+	}
+	return v.(*Rec), true
+}
+
+// ScoreOf evaluates id's current score.
+func (a *Auditor) ScoreOf(id seg.ID, at time.Time) float64 {
+	rec, ok := a.SegmentRec(id)
+	if !ok {
+		return 0
+	}
+	return a.model.Score(&rec.Stats, at)
+}
+
+// Mapping returns which node and tier currently hold id. ok is false
+// when the segment is not prefetched anywhere.
+func (a *Auditor) Mapping(id seg.ID) (node, tier string, ok bool) {
+	v, ok, err := a.maps.Get(mapKey(id))
+	if err != nil || !ok {
+		return "", "", false
+	}
+	loc, _ := v.(string)
+	if loc == "" {
+		return "", "", false
+	}
+	if i := strings.IndexByte(loc, '|'); i >= 0 {
+		return loc[:i], loc[i+1:], true
+	}
+	return "", loc, true
+}
+
+// SetMapping records id as resident in this node's tier; engine-only.
+func (a *Auditor) SetMapping(id seg.ID, tier string) {
+	a.maps.Put(mapKey(id), a.cfg.Node+"|"+tier) //nolint:errcheck // mapping is advisory; reads fall back to PFS
+}
+
+// DeleteMapping clears id's residency; engine-only.
+func (a *Auditor) DeleteMapping(id seg.ID) {
+	a.maps.Delete(mapKey(id)) //nolint:errcheck
+}
+
+// Sweep garbage-collects segment statistics: records belonging to files
+// with no open epoch whose score has decayed below floor — and which are
+// not prefetched anywhere — are deleted. It returns how many records
+// were removed. Long-running servers call this periodically so the
+// statistics map tracks the active working set instead of growing with
+// every file ever touched ("heatmaps get deleted once the workflow
+// ends").
+func (a *Auditor) Sweep(now time.Time, floor float64) int {
+	type victim struct{ key, file string }
+	var victims []victim
+	a.stats.Range(func(key string, val any) bool {
+		rec, ok := val.(*Rec)
+		if !ok {
+			return true
+		}
+		if a.model.Score(&rec.Stats, now) >= floor {
+			return true
+		}
+		file, idx, ok := parseStatKey(key)
+		if !ok {
+			return true
+		}
+		victims = append(victims, victim{key: key, file: file})
+		_ = idx
+		return true
+	})
+	removed := 0
+	for _, v := range victims {
+		a.mu.Lock()
+		open := a.epochs[v.file] != nil
+		a.mu.Unlock()
+		if open {
+			continue
+		}
+		file, idx, _ := parseStatKey(v.key)
+		if _, _, mapped := a.Mapping(seg.ID{File: file, Index: idx}); mapped {
+			continue // still resident in a tier; the engine owns it
+		}
+		a.stats.Delete(v.key) //nolint:errcheck
+		removed++
+	}
+	return removed
+}
+
+// parseStatKey inverts statKey: "s|file|idx".
+func parseStatKey(key string) (file string, idx int64, ok bool) {
+	if !strings.HasPrefix(key, "s|") {
+		return "", 0, false
+	}
+	rest := key[2:]
+	cut := strings.LastIndexByte(rest, '|')
+	if cut < 0 {
+		return "", 0, false
+	}
+	file = rest[:cut]
+	n, err := strconv.ParseInt(rest[cut+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return file, n, true
+}
+
+// Counters returns a snapshot of the auditor counters.
+func (a *Auditor) Counters() Stats {
+	return Stats{
+		Events:        a.ctr.events.Load(),
+		Reads:         a.ctr.reads.Load(),
+		Writes:        a.ctr.writes.Load(),
+		Invalidations: a.ctr.invalidations.Load(),
+		SegmentsSeen:  a.ctr.segs.Load(),
+	}
+}

@@ -1,0 +1,194 @@
+// Package heatmap implements HFetch's file access heatmaps. A heatmap
+// records, per file segment, the score statistics the auditor gathered
+// during a prefetching epoch. Heatmaps can be stored alongside the raw
+// files (enriched metafiles) when the file is closed and reloaded when it
+// is reopened, so a later epoch — possibly a different application in the
+// workflow — starts with the previous access profile instead of cold
+// state. This is optional for HFetch (unlike history-based prefetchers)
+// but lets the placement engine pre-place hot segments *before* the first
+// read of an epoch: the server-push moment.
+package heatmap
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Entry is one segment's record in a heatmap.
+type Entry struct {
+	Index int64
+	// Score is the segment score at capture time.
+	Score float64
+	// K is the access count within the epoch.
+	K int64
+	// Refs is the reference count (n of Equation 1).
+	Refs int64
+	// Succ is the segment observed to follow this one, -1 when unknown.
+	Succ int64
+}
+
+// Heatmap is a file's access profile.
+type Heatmap struct {
+	File       string
+	SegSize    int64
+	CapturedAt time.Time
+	Entries    []Entry
+}
+
+// New creates an empty heatmap for file with the given segment size.
+func New(file string, segSize int64) *Heatmap {
+	return &Heatmap{File: file, SegSize: segSize}
+}
+
+// Add appends an entry. Entries may be added in any order.
+func (h *Heatmap) Add(e Entry) { h.Entries = append(h.Entries, e) }
+
+// Len returns the number of entries.
+func (h *Heatmap) Len() int { return len(h.Entries) }
+
+// Sort orders entries by descending score (ties by ascending index).
+func (h *Heatmap) Sort() {
+	sort.Slice(h.Entries, func(i, j int) bool {
+		if h.Entries[i].Score != h.Entries[j].Score {
+			return h.Entries[i].Score > h.Entries[j].Score
+		}
+		return h.Entries[i].Index < h.Entries[j].Index
+	})
+}
+
+// TopN returns the n hottest entries (after sorting a copy).
+func (h *Heatmap) TopN(n int) []Entry {
+	cp := make([]Entry, len(h.Entries))
+	copy(cp, h.Entries)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Score != cp[j].Score {
+			return cp[i].Score > cp[j].Score
+		}
+		return cp[i].Index < cp[j].Index
+	})
+	if n > len(cp) {
+		n = len(cp)
+	}
+	return cp[:n]
+}
+
+// Merge folds old into h: entries present only in old are adopted with
+// their scores decayed by decay (0..1); entries present in both keep h's
+// statistics but inherit old's successor link when h has none. Merge
+// implements "new accesses evolve the heatmap further".
+func (h *Heatmap) Merge(old *Heatmap, decay float64) {
+	if old == nil {
+		return
+	}
+	if decay < 0 {
+		decay = 0
+	}
+	if decay > 1 {
+		decay = 1
+	}
+	byIdx := make(map[int64]int, len(h.Entries))
+	for i, e := range h.Entries {
+		byIdx[e.Index] = i
+	}
+	for _, oe := range old.Entries {
+		if i, ok := byIdx[oe.Index]; ok {
+			if h.Entries[i].Succ < 0 && oe.Succ >= 0 {
+				h.Entries[i].Succ = oe.Succ
+			}
+			continue
+		}
+		oe.Score *= decay
+		h.Entries = append(h.Entries, oe)
+		byIdx[oe.Index] = len(h.Entries) - 1
+	}
+}
+
+// Store persists heatmaps in a directory, one gob file per target file,
+// keeping only the latest version (the prototype behaviour described in
+// the paper).
+type Store struct {
+	dir string
+}
+
+// NewStore creates (if needed) and wraps a heatmap directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("heatmap: mkdir %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) pathFor(file string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.heat", fnv(file)))
+}
+
+// Save writes (replacing) the heatmap for its file.
+func (s *Store) Save(h *Heatmap) error {
+	h.CapturedAt = time.Now()
+	tmp := s.pathFor(h.File) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("heatmap: create: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(h); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("heatmap: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.pathFor(h.File))
+}
+
+// Load returns the stored heatmap for file, or (nil, nil) when none
+// exists.
+func (s *Store) Load(file string) (*Heatmap, error) {
+	f, err := os.Open(s.pathFor(file))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: open: %w", err)
+	}
+	defer f.Close()
+	var h Heatmap
+	if err := gob.NewDecoder(f).Decode(&h); err != nil {
+		return nil, fmt.Errorf("heatmap: decode: %w", err)
+	}
+	if h.File != file {
+		// Hash collision between file names; treat as absent.
+		return nil, nil
+	}
+	return &h, nil
+}
+
+// Delete removes the stored heatmap for file (used when the workflow
+// ends).
+func (s *Store) Delete(file string) error {
+	err := os.Remove(s.pathFor(file))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func fnv(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

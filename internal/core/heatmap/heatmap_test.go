@@ -1,0 +1,159 @@
+package heatmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortAndTopN(t *testing.T) {
+	h := New("f", 1024)
+	h.Add(Entry{Index: 0, Score: 1})
+	h.Add(Entry{Index: 1, Score: 5})
+	h.Add(Entry{Index: 2, Score: 3})
+	top := h.TopN(2)
+	if len(top) != 2 || top[0].Index != 1 || top[1].Index != 2 {
+		t.Fatalf("TopN = %+v", top)
+	}
+	h.Sort()
+	if h.Entries[0].Index != 1 || h.Entries[2].Index != 0 {
+		t.Fatalf("Sort order wrong: %+v", h.Entries)
+	}
+}
+
+func TestTopNClamps(t *testing.T) {
+	h := New("f", 1024)
+	h.Add(Entry{Index: 0, Score: 1})
+	if got := h.TopN(10); len(got) != 1 {
+		t.Fatalf("TopN(10) = %d entries, want 1", len(got))
+	}
+}
+
+func TestTopNTieBreaksByIndex(t *testing.T) {
+	h := New("f", 1024)
+	h.Add(Entry{Index: 5, Score: 2})
+	h.Add(Entry{Index: 1, Score: 2})
+	top := h.TopN(2)
+	if top[0].Index != 1 || top[1].Index != 5 {
+		t.Fatalf("tie break wrong: %+v", top)
+	}
+}
+
+func TestMergeAdoptsOldWithDecay(t *testing.T) {
+	cur := New("f", 1024)
+	cur.Add(Entry{Index: 0, Score: 4, Succ: -1})
+	old := New("f", 1024)
+	old.Add(Entry{Index: 0, Score: 100, Succ: 1}) // present in both
+	old.Add(Entry{Index: 7, Score: 10, Succ: -1}) // only in old
+	cur.Merge(old, 0.5)
+	if cur.Len() != 2 {
+		t.Fatalf("merged len = %d, want 2", cur.Len())
+	}
+	byIdx := map[int64]Entry{}
+	for _, e := range cur.Entries {
+		byIdx[e.Index] = e
+	}
+	if byIdx[0].Score != 4 {
+		t.Fatalf("existing entry score changed: %v", byIdx[0].Score)
+	}
+	if byIdx[0].Succ != 1 {
+		t.Fatalf("successor not inherited: %v", byIdx[0].Succ)
+	}
+	if byIdx[7].Score != 5 {
+		t.Fatalf("old-only entry not decayed: %v", byIdx[7].Score)
+	}
+}
+
+func TestMergeNilAndClampDecay(t *testing.T) {
+	cur := New("f", 1024)
+	cur.Add(Entry{Index: 0, Score: 1})
+	cur.Merge(nil, 0.5) // no-op
+	old := New("f", 1024)
+	old.Add(Entry{Index: 1, Score: 10})
+	cur.Merge(old, 7) // decay clamps to 1
+	for _, e := range cur.Entries {
+		if e.Index == 1 && e.Score != 10 {
+			t.Fatalf("clamped decay wrong: %v", e.Score)
+		}
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New("data/file1.fits", 1<<20)
+	h.Add(Entry{Index: 3, Score: 2.5, K: 4, Refs: 2, Succ: 4})
+	if err := st.Save(h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("data/file1.fits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Len() != 1 || got.Entries[0] != h.Entries[0] {
+		t.Fatalf("Load = %+v", got)
+	}
+	if got.SegSize != 1<<20 {
+		t.Fatalf("SegSize = %d", got.SegSize)
+	}
+}
+
+func TestStoreLoadMissing(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	got, err := st.Load("never-saved")
+	if err != nil || got != nil {
+		t.Fatalf("Load missing = %v %v, want nil nil", got, err)
+	}
+}
+
+func TestStoreKeepsLatestOnly(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	h1 := New("f", 1024)
+	h1.Add(Entry{Index: 0, Score: 1})
+	st.Save(h1)
+	h2 := New("f", 1024)
+	h2.Add(Entry{Index: 0, Score: 9})
+	h2.Add(Entry{Index: 1, Score: 2})
+	st.Save(h2)
+	got, _ := st.Load("f")
+	if got.Len() != 2 || got.Entries[0].Score != 9 {
+		t.Fatalf("latest version not kept: %+v", got)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	h := New("f", 1024)
+	st.Save(h)
+	if err := st.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Load("f"); got != nil {
+		t.Fatal("heatmap must be gone after Delete")
+	}
+	if err := st.Delete("f"); err != nil {
+		t.Fatal("double delete must be a no-op")
+	}
+}
+
+// Property: merge is idempotent — merging the same old map twice adds
+// nothing the second time.
+func TestMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cur := New("f", 1024)
+		old := New("f", 1024)
+		for i := 0; i < rng.Intn(20); i++ {
+			old.Add(Entry{Index: int64(rng.Intn(30)), Score: rng.Float64() * 10, Succ: -1})
+		}
+		cur.Merge(old, 0.7)
+		n := cur.Len()
+		cur.Merge(old, 0.7)
+		return cur.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package heatmap
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// VersionedStore implements the paper's envisioned extension ("we
+// envision HFetch to be able to maintain multiple versions of a file
+// heatmap and select the best fit to the current epoch"): instead of
+// keeping only the latest heatmap per file, it retains up to MaxVersions
+// and, once an epoch has observed a few accesses, selects the stored
+// version whose shape most resembles them.
+//
+// Similarity is cosine similarity between score vectors over the union
+// of segment indices — scale-invariant, so a heatmap captured from a
+// short epoch still matches a longer epoch with the same access shape.
+type VersionedStore struct {
+	dir         string
+	maxVersions int
+}
+
+// NewVersionedStore wraps a directory, retaining up to maxVersions
+// heatmaps per file (default 4).
+func NewVersionedStore(dir string, maxVersions int) (*VersionedStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("heatmap: mkdir %s: %w", dir, err)
+	}
+	if maxVersions <= 0 {
+		maxVersions = 4
+	}
+	return &VersionedStore{dir: dir, maxVersions: maxVersions}, nil
+}
+
+func (s *VersionedStore) pathFor(file string, version int) string {
+	return fmt.Sprintf("%s/%016x.v%d.heat", s.dir, fnv(file), version)
+}
+
+// versionsOf lists existing version slots for file, ascending.
+func (s *VersionedStore) versionsOf(file string) []int {
+	var out []int
+	for v := 0; v < s.maxVersions; v++ {
+		if _, err := os.Stat(s.pathFor(file, v)); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Save appends h as a new version, evicting the oldest when the slot
+// budget is exhausted (versions shift down).
+func (s *VersionedStore) Save(h *Heatmap) error {
+	vs := s.versionsOf(h.File)
+	if len(vs) >= s.maxVersions {
+		// Shift everything down one slot, dropping version 0.
+		for v := 1; v < s.maxVersions; v++ {
+			os.Rename(s.pathFor(h.File, v), s.pathFor(h.File, v-1)) //nolint:errcheck
+		}
+		return s.writeVersion(h, s.maxVersions-1)
+	}
+	return s.writeVersion(h, len(vs))
+}
+
+func (s *VersionedStore) writeVersion(h *Heatmap, v int) error {
+	tmp := s.pathFor(h.File, v) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(h); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.pathFor(h.File, v))
+}
+
+// Load returns the most recent version, or nil when none exist.
+func (s *VersionedStore) Load(file string) (*Heatmap, error) {
+	vs := s.versionsOf(file)
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	return s.loadVersion(file, vs[len(vs)-1])
+}
+
+// Versions returns every stored heatmap for file, oldest first.
+func (s *VersionedStore) Versions(file string) ([]*Heatmap, error) {
+	var out []*Heatmap
+	for _, v := range s.versionsOf(file) {
+		h, err := s.loadVersion(file, v)
+		if err != nil {
+			return nil, err
+		}
+		if h != nil {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+func (s *VersionedStore) loadVersion(file string, v int) (*Heatmap, error) {
+	f, err := os.Open(s.pathFor(file, v))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var h Heatmap
+	if err := gob.NewDecoder(f).Decode(&h); err != nil {
+		return nil, err
+	}
+	if h.File != file {
+		return nil, nil // hash collision
+	}
+	return &h, nil
+}
+
+// BestFit returns the stored version most similar (cosine similarity of
+// score vectors) to the observed early-epoch accesses, together with the
+// similarity in [0, 1]. observed maps segment index to an early score or
+// access count. With no observations it falls back to the most recent
+// version (similarity 0).
+func (s *VersionedStore) BestFit(file string, observed map[int64]float64) (*Heatmap, float64, error) {
+	versions, err := s.Versions(file)
+	if err != nil || len(versions) == 0 {
+		return nil, 0, err
+	}
+	if len(observed) == 0 {
+		return versions[len(versions)-1], 0, nil
+	}
+	best, bestSim := versions[len(versions)-1], -1.0
+	for _, h := range versions {
+		sim := Similarity(h, observed)
+		if sim > bestSim {
+			best, bestSim = h, sim
+		}
+	}
+	if bestSim < 0 {
+		bestSim = 0
+	}
+	return best, bestSim, nil
+}
+
+// Delete removes every version of file's heatmap.
+func (s *VersionedStore) Delete(file string) error {
+	var first error
+	for _, v := range s.versionsOf(file) {
+		if err := os.Remove(s.pathFor(file, v)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Similarity computes the cosine similarity between a heatmap's score
+// vector and an observed index→weight map, over the union of indices.
+func Similarity(h *Heatmap, observed map[int64]float64) float64 {
+	if h == nil || len(h.Entries) == 0 || len(observed) == 0 {
+		return 0
+	}
+	hv := make(map[int64]float64, len(h.Entries))
+	for _, e := range h.Entries {
+		hv[e.Index] = e.Score
+	}
+	idx := make(map[int64]struct{}, len(hv)+len(observed))
+	for i := range hv {
+		idx[i] = struct{}{}
+	}
+	for i := range observed {
+		idx[i] = struct{}{}
+	}
+	keys := make([]int64, 0, len(idx))
+	for i := range idx {
+		keys = append(keys, i)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	var dot, na, nb float64
+	for _, i := range keys {
+		a, b := hv[i], observed[i]
+		dot += a * b
+		na += a * a
+		nb += b * b
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

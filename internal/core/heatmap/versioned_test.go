@@ -1,0 +1,142 @@
+package heatmap
+
+import (
+	"math"
+	"testing"
+)
+
+func mk(file string, scores map[int64]float64) *Heatmap {
+	h := New(file, 1024)
+	for idx, s := range scores {
+		h.Add(Entry{Index: idx, Score: s, Succ: -1})
+	}
+	return h
+}
+
+func TestVersionedSaveLoadLatest(t *testing.T) {
+	s, err := NewVersionedStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Save(mk("f", map[int64]float64{0: 1}))
+	s.Save(mk("f", map[int64]float64{0: 2}))
+	h, err := s.Load("f")
+	if err != nil || h == nil {
+		t.Fatal(err)
+	}
+	if h.Entries[0].Score != 2 {
+		t.Fatalf("latest version score = %v, want 2", h.Entries[0].Score)
+	}
+	vs, _ := s.Versions("f")
+	if len(vs) != 2 {
+		t.Fatalf("versions = %d, want 2", len(vs))
+	}
+}
+
+func TestVersionedLoadMissing(t *testing.T) {
+	s, _ := NewVersionedStore(t.TempDir(), 3)
+	h, err := s.Load("nope")
+	if err != nil || h != nil {
+		t.Fatalf("Load missing = %v %v", h, err)
+	}
+	if _, _, err := s.BestFit("nope", map[int64]float64{0: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionedEvictsOldest(t *testing.T) {
+	s, _ := NewVersionedStore(t.TempDir(), 2)
+	s.Save(mk("f", map[int64]float64{0: 1}))
+	s.Save(mk("f", map[int64]float64{0: 2}))
+	s.Save(mk("f", map[int64]float64{0: 3}))
+	vs, _ := s.Versions("f")
+	if len(vs) != 2 {
+		t.Fatalf("versions = %d, want cap of 2", len(vs))
+	}
+	if vs[0].Entries[0].Score != 2 || vs[1].Entries[0].Score != 3 {
+		t.Fatalf("retention wrong: %v %v", vs[0].Entries[0].Score, vs[1].Entries[0].Score)
+	}
+}
+
+func TestBestFitSelectsMatchingShape(t *testing.T) {
+	s, _ := NewVersionedStore(t.TempDir(), 4)
+	// Version A: hot head of the file. Version B: hot tail.
+	s.Save(mk("f", map[int64]float64{0: 10, 1: 8, 2: 6}))
+	s.Save(mk("f", map[int64]float64{7: 10, 8: 8, 9: 6}))
+
+	// The current epoch starts reading the head: version A must win even
+	// though B is more recent.
+	best, sim, err := s.BestFit("f", map[int64]float64{0: 1, 1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim <= 0 {
+		t.Fatalf("similarity = %v, want > 0", sim)
+	}
+	if _, ok := indexScore(best, 0); !ok {
+		t.Fatalf("best fit should be the head-hot version, got %+v", best.Entries)
+	}
+
+	// Tail accesses pick version B.
+	best, _, _ = s.BestFit("f", map[int64]float64{8: 1, 9: 1})
+	if _, ok := indexScore(best, 8); !ok {
+		t.Fatalf("best fit should be the tail-hot version, got %+v", best.Entries)
+	}
+}
+
+func TestBestFitNoObservationsFallsBackToLatest(t *testing.T) {
+	s, _ := NewVersionedStore(t.TempDir(), 4)
+	s.Save(mk("f", map[int64]float64{0: 1}))
+	s.Save(mk("f", map[int64]float64{5: 1}))
+	best, sim, err := s.BestFit("f", nil)
+	if err != nil || best == nil {
+		t.Fatal(err)
+	}
+	if sim != 0 {
+		t.Fatalf("similarity without observations = %v, want 0", sim)
+	}
+	if _, ok := indexScore(best, 5); !ok {
+		t.Fatal("fallback must be the most recent version")
+	}
+}
+
+func TestVersionedDelete(t *testing.T) {
+	s, _ := NewVersionedStore(t.TempDir(), 3)
+	s.Save(mk("f", map[int64]float64{0: 1}))
+	s.Save(mk("f", map[int64]float64{0: 2}))
+	if err := s.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if vs, _ := s.Versions("f"); len(vs) != 0 {
+		t.Fatalf("versions after delete = %d", len(vs))
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	h := mk("f", map[int64]float64{0: 3, 1: 4})
+	// Identical shape → 1.
+	if sim := Similarity(h, map[int64]float64{0: 3, 1: 4}); math.Abs(sim-1) > 1e-12 {
+		t.Fatalf("self similarity = %v", sim)
+	}
+	// Scale invariance.
+	if sim := Similarity(h, map[int64]float64{0: 30, 1: 40}); math.Abs(sim-1) > 1e-12 {
+		t.Fatalf("scaled similarity = %v", sim)
+	}
+	// Orthogonal shapes → 0.
+	if sim := Similarity(h, map[int64]float64{5: 1}); sim != 0 {
+		t.Fatalf("orthogonal similarity = %v", sim)
+	}
+	// Degenerate inputs.
+	if Similarity(nil, map[int64]float64{0: 1}) != 0 || Similarity(h, nil) != 0 {
+		t.Fatal("degenerate similarity must be 0")
+	}
+}
+
+func indexScore(h *Heatmap, idx int64) (float64, bool) {
+	for _, e := range h.Entries {
+		if e.Index == idx {
+			return e.Score, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,140 @@
+package ioclient
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hfetch/internal/core/seg"
+	"hfetch/internal/pfs"
+	"hfetch/internal/tiers"
+)
+
+func setup(t *testing.T) (*pfs.FS, *Client, *tiers.Store, *tiers.Store) {
+	t.Helper()
+	fs := pfs.New(nil)
+	fs.Create("f", 1000)
+	segr := seg.NewSegmenter(100)
+	c := New(fs, segr)
+	ram := tiers.NewStore("ram", 500, nil)
+	nvme := tiers.NewStore("nvme", 500, nil)
+	return fs, c, ram, nvme
+}
+
+func TestFetchLoadsCorrectBytes(t *testing.T) {
+	fs, c, ram, _ := setup(t)
+	id := seg.ID{File: "f", Index: 2}
+	if err := c.Fetch(id, 0, ram); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ram.Get(id)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("Get = %d bytes %v", len(got), err)
+	}
+	want := make([]byte, 100)
+	fs.ReadAt("f", 200, want)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fetched payload differs from PFS content")
+	}
+}
+
+func TestFetchClippedSize(t *testing.T) {
+	_, c, ram, _ := setup(t)
+	id := seg.ID{File: "f", Index: 9} // bytes 900..1000
+	if err := c.Fetch(id, 50, ram); err != nil {
+		t.Fatal(err)
+	}
+	if got := ram.SizeOf(id); got != 50 {
+		t.Fatalf("clipped fetch size = %d, want 50", got)
+	}
+}
+
+func TestFetchMissingFile(t *testing.T) {
+	_, c, ram, _ := setup(t)
+	if err := c.Fetch(seg.ID{File: "ghost", Index: 0}, 0, ram); err == nil {
+		t.Fatal("fetch of missing file must fail")
+	}
+}
+
+func TestFetchBeyondEOF(t *testing.T) {
+	_, c, ram, _ := setup(t)
+	if err := c.Fetch(seg.ID{File: "f", Index: 100}, 0, ram); err == nil {
+		t.Fatal("fetch beyond EOF must fail")
+	}
+}
+
+func TestFetchIntoFullTier(t *testing.T) {
+	_, c, _, _ := setup(t)
+	tiny := tiers.NewStore("tiny", 10, nil)
+	if err := c.Fetch(seg.ID{File: "f", Index: 0}, 0, tiny); err == nil {
+		t.Fatal("fetch into a full tier must fail")
+	}
+}
+
+func TestTransferMovesPayload(t *testing.T) {
+	_, c, ram, nvme := setup(t)
+	id := seg.ID{File: "f", Index: 0}
+	c.Fetch(id, 0, ram)
+	orig, _ := ram.Get(id)
+	if err := c.Transfer(id, ram, nvme); err != nil {
+		t.Fatal(err)
+	}
+	if ram.Has(id) {
+		t.Fatal("exclusive cache: source must not retain the segment")
+	}
+	got, err := nvme.Get(id)
+	if err != nil || !bytes.Equal(got, orig) {
+		t.Fatal("transferred payload corrupted")
+	}
+}
+
+func TestTransferMissingSegment(t *testing.T) {
+	_, c, ram, nvme := setup(t)
+	err := c.Transfer(seg.ID{File: "f", Index: 0}, ram, nvme)
+	if err == nil {
+		t.Fatal("transfer of non-resident segment must fail")
+	}
+}
+
+func TestTransferRestoresOnDestFailure(t *testing.T) {
+	_, c, ram, _ := setup(t)
+	tiny := tiers.NewStore("tiny", 10, nil)
+	id := seg.ID{File: "f", Index: 0}
+	c.Fetch(id, 0, ram)
+	if err := c.Transfer(id, ram, tiny); err == nil {
+		t.Fatal("transfer into a full tier must fail")
+	}
+	if !ram.Has(id) {
+		t.Fatal("payload must be restored to the source on failure")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	_, c, ram, _ := setup(t)
+	id := seg.ID{File: "f", Index: 0}
+	c.Fetch(id, 0, ram)
+	if err := c.Evict(id, ram); err != nil {
+		t.Fatal(err)
+	}
+	if ram.Has(id) {
+		t.Fatal("evicted segment must be gone")
+	}
+	if err := c.Evict(id, ram); !errors.Is(err, tiers.ErrNotFound) {
+		t.Fatalf("double evict = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	_, c, ram, nvme := setup(t)
+	id := seg.ID{File: "f", Index: 0}
+	c.Fetch(id, 0, ram)
+	c.Transfer(id, ram, nvme)
+	c.Evict(id, nvme)
+	st := c.Stats()
+	if st.Fetches != 1 || st.Transfers != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesMoved != 200 { // 100 fetched + 100 transferred
+		t.Fatalf("bytes = %d, want 200", st.BytesMoved)
+	}
+}

@@ -1,0 +1,135 @@
+// Package monitor implements HFetch's hardware monitor: it discovers the
+// configured tiers, hosts the in-memory event queue every tier (and the
+// client I/O layer) pushes into, and serves that queue with a pool of
+// daemon threads that forward events to the file segment auditor. It
+// also probes each tier's remaining capacity periodically and reports it
+// as OpCapacity events — the second event kind the paper describes.
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfetch/internal/events"
+	"hfetch/internal/tiers"
+)
+
+// Handler consumes monitored events (implemented by the auditor).
+type Handler interface {
+	HandleEvent(events.Event)
+}
+
+// Config configures a Monitor.
+type Config struct {
+	// Daemons is the number of consumer threads (default 4).
+	Daemons int
+	// QueueCap bounds the event queue (default 64k events).
+	QueueCap int
+	// Drop selects the overflow policy: true drops events when the queue
+	// is full (inotify IN_Q_OVERFLOW), false applies backpressure.
+	Drop bool
+	// CapacityInterval is how often tier capacities are probed;
+	// 0 disables probing.
+	CapacityInterval time.Duration
+	// Batch is the daemon batch size when draining the queue (default 64).
+	Batch int
+}
+
+// Monitor is safe for concurrent use.
+type Monitor struct {
+	cfg     Config
+	queue   *events.Queue
+	handler Handler
+	hier    *tiers.Hierarchy
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+
+	consumed atomic.Int64
+}
+
+// New creates a monitor feeding handler; hier may be nil (no capacity
+// probes).
+func New(cfg Config, handler Handler, hier *tiers.Hierarchy) *Monitor {
+	if cfg.Daemons <= 0 {
+		cfg.Daemons = 4
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1 << 16
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	return &Monitor{
+		cfg:     cfg,
+		queue:   events.NewQueue(cfg.QueueCap, cfg.Drop),
+		handler: handler,
+		hier:    hier,
+		stop:    make(chan struct{}),
+	}
+}
+
+// Queue exposes the event queue so tiers and the I/O layer can push.
+func (m *Monitor) Queue() *events.Queue { return m.queue }
+
+// Post pushes one event into the queue.
+func (m *Monitor) Post(ev events.Event) bool { return m.queue.Post(ev) }
+
+// Start launches the daemon pool (and the capacity prober when
+// configured).
+func (m *Monitor) Start() {
+	for i := 0; i < m.cfg.Daemons; i++ {
+		m.wg.Add(1)
+		go m.daemon()
+	}
+	if m.cfg.CapacityInterval > 0 && m.hier != nil {
+		m.wg.Add(1)
+		go m.prober()
+	}
+}
+
+// Stop closes the queue, waits for the daemons to drain it, and returns.
+func (m *Monitor) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	m.queue.Close()
+	m.wg.Wait()
+}
+
+// Consumed returns the number of events handled so far.
+func (m *Monitor) Consumed() int64 { return m.consumed.Load() }
+
+func (m *Monitor) daemon() {
+	defer m.wg.Done()
+	buf := make([]events.Event, m.cfg.Batch)
+	for {
+		n, ok := m.queue.TakeBatch(buf)
+		if !ok {
+			return
+		}
+		for i := 0; i < n; i++ {
+			m.handler.HandleEvent(buf[i])
+		}
+		m.consumed.Add(int64(n))
+	}
+}
+
+func (m *Monitor) prober() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.CapacityInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			for _, s := range m.hier.Stores() {
+				m.queue.Post(events.Event{
+					Op: events.OpCapacity, Tier: s.Name(), Free: s.Free(), Time: now,
+				})
+			}
+		}
+	}
+}

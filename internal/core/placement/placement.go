@@ -1,0 +1,664 @@
+// Package placement implements HFetch's hierarchical data placement
+// engine — Algorithm 1 of the paper. The engine consumes segment score
+// updates pushed by the auditor, and periodically (by time interval or by
+// update count, whichever fires first — the engine "reactiveness")
+// recomputes where each updated segment belongs in the hierarchy:
+//
+//	procedure CalculatePlacement(segment, tier)
+//	    if segment.score > tier.min_score then
+//	        if segment cannot fit in this tier then
+//	            DemoteSegments(segment.score, tier)
+//	        place segment in this tier
+//	    else CalculatePlacement(segment, tier.next)
+//
+// Hotter segments end in faster tiers; demoted segments cascade down;
+// segments falling below the last tier are evicted (the PFS is the
+// origin, so eviction is free). The cache is exclusive: a segment lives
+// in exactly one tier. While a tier has free capacity its effective
+// min_score is -inf (anything may enter); once full, the minimum
+// resident score gates entry, which is the watermark behaviour the
+// paper's RAM example describes.
+package placement
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfetch/internal/core/auditor"
+	"hfetch/internal/core/seg"
+	"hfetch/internal/tiers"
+)
+
+// Reactiveness presets from the paper's Figure 3(b).
+const (
+	// High triggers the engine at every segment score update.
+	High = 1
+	// Medium (the HFetch default) triggers every 100 score updates.
+	Medium = 100
+	// Low triggers every 1024 score updates.
+	Low = 1024
+)
+
+// Policy selects the placement algorithm. Score is Algorithm 1 of the
+// paper; Random and RoundRobin are the "sub-optimal, quicker to
+// calculate" alternatives §IV-A discusses, kept for ablation.
+type Policy int
+
+// Placement policies.
+const (
+	// PolicyScore maps the score spectrum onto the tiers (Algorithm 1).
+	PolicyScore Policy = iota
+	// PolicyRandom places each updated segment in a random tier with
+	// room (no demotions).
+	PolicyRandom
+	// PolicyRoundRobin cycles the tiers (no demotions).
+	PolicyRoundRobin
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Policy selects the placement algorithm (default PolicyScore).
+	Policy Policy
+	// Interval is trigger (a): run at least this often. Default 1s.
+	Interval time.Duration
+	// UpdateThreshold is trigger (b): run after this many score updates.
+	// Default Medium (100).
+	UpdateThreshold int
+	// Workers is the number of engine threads executing data movement
+	// within a run. Default 2.
+	Workers int
+	// MinScore is the global admission floor: segments scoring below it
+	// are never prefetched. Default 0 (admit anything with score > 0).
+	MinScore float64
+	// Hysteresis damps churn: a resident segment whose score moved by
+	// less than this relative fraction keeps its tier instead of being
+	// re-placed (and possibly swapped with an equal-scored neighbour).
+	// Default 0.2; negative disables damping.
+	Hysteresis float64
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Runs        int64
+	Updates     int64
+	Placements  int64 // fetches from the PFS
+	Promotions  int64
+	Demotions   int64
+	Evictions   int64
+	FailedMoves int64
+}
+
+// Mover executes planned data movement (implemented by ioclient.Client).
+type Mover interface {
+	Fetch(id seg.ID, size int64, dst *tiers.Store) error
+	Transfer(id seg.ID, src, dst *tiers.Store) error
+	Evict(id seg.ID, src *tiers.Store) error
+}
+
+// Engine is the hierarchical data placement engine. It implements
+// auditor.Sink.
+type Engine struct {
+	cfg   Config
+	hier  *tiers.Hierarchy
+	mover Mover
+	aud   *auditor.Auditor
+
+	mu          sync.Mutex
+	pending     map[seg.ID]auditor.Update
+	invalidated map[string]struct{}
+	updateCount int
+	rrNext      uint64
+
+	// Engine's model of tier residency: per tier, segment -> (score, size).
+	resident []map[seg.ID]entry
+	used     []int64
+
+	// runMu serializes placement passes (the loop and explicit Flush).
+	runMu sync.Mutex
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	ctr struct {
+		runs, updates, placements, promotions, demotions, evictions, failed atomic.Int64
+	}
+}
+
+type entry struct {
+	score float64
+	size  int64
+}
+
+// move is one planned data movement. from/to index tiers; -1 means the
+// PFS (for from) or eviction (for to).
+type move struct {
+	id   seg.ID
+	size int64
+	from int
+	to   int
+}
+
+// New creates an engine over the hierarchy, executing moves with mover
+// and recording segment mappings through aud.
+func New(cfg Config, hier *tiers.Hierarchy, mover Mover, aud *auditor.Auditor) *Engine {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.UpdateThreshold <= 0 {
+		cfg.UpdateThreshold = Medium
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Hysteresis == 0 {
+		cfg.Hysteresis = 0.2
+	}
+	if cfg.Hysteresis < 0 {
+		cfg.Hysteresis = 0
+	}
+	e := &Engine{
+		cfg:         cfg,
+		hier:        hier,
+		mover:       mover,
+		aud:         aud,
+		pending:     make(map[seg.ID]auditor.Update),
+		invalidated: make(map[string]struct{}),
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+	}
+	e.resident = make([]map[seg.ID]entry, hier.Len())
+	e.used = make([]int64, hier.Len())
+	for i := range e.resident {
+		e.resident[i] = make(map[seg.ID]entry)
+	}
+	return e
+}
+
+// Start launches the engine loop.
+func (e *Engine) Start() {
+	e.wg.Add(1)
+	go e.loop()
+}
+
+// Stop terminates the engine after a final drain.
+func (e *Engine) Stop() {
+	e.once.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// ScoreUpdated implements auditor.Sink. It is the hot path: a map insert
+// and, past the threshold, a non-blocking kick.
+func (e *Engine) ScoreUpdated(u auditor.Update) {
+	e.ctr.updates.Add(1)
+	e.mu.Lock()
+	e.pending[u.ID] = u
+	e.updateCount++
+	fire := e.updateCount >= e.cfg.UpdateThreshold
+	e.mu.Unlock()
+	if fire {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// FileInvalidated implements auditor.Sink: a write to file makes every
+// prefetched segment of it stale.
+func (e *Engine) FileInvalidated(file string) {
+	e.mu.Lock()
+	e.invalidated[file] = struct{}{}
+	e.mu.Unlock()
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Flush runs one placement pass synchronously (used by tests and by
+// epoch teardown).
+func (e *Engine) Flush() { e.run() }
+
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			e.run() // final drain
+			return
+		case <-ticker.C:
+			e.run()
+		case <-e.kick:
+			e.run()
+		}
+	}
+}
+
+// run drains pending updates and invalidations, plans placement for each
+// update (hottest first), and executes the planned moves with the worker
+// pool. Runs are serialized: the engine's residency model is consistent
+// at run boundaries.
+func (e *Engine) run() {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	e.mu.Lock()
+	if len(e.pending) == 0 && len(e.invalidated) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	updates := make([]auditor.Update, 0, len(e.pending))
+	for _, u := range e.pending {
+		updates = append(updates, u)
+	}
+	e.pending = make(map[seg.ID]auditor.Update)
+	e.updateCount = 0
+	inval := e.invalidated
+	e.invalidated = make(map[string]struct{})
+	e.mu.Unlock()
+
+	e.ctr.runs.Add(1)
+
+	for file := range inval {
+		e.dropFile(file)
+	}
+
+	// Hottest first, so high-score segments claim fast tiers before
+	// lower ones are considered.
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Score > updates[j].Score })
+
+	var plan []move
+	e.mu.Lock()
+	for _, u := range updates {
+		if _, stale := inval[u.ID.File]; stale {
+			continue
+		}
+		e.plan(u, &plan)
+	}
+	e.mu.Unlock()
+	e.execute(mergePlan(plan))
+}
+
+// mergePlan coalesces per-segment move chains (a segment can be demoted
+// by one update and re-placed by its own later in the same run) into a
+// single origin→final move, and orders the result so space-freeing moves
+// (evictions, then tier-to-tier transfers) run before fetches. Without
+// merging, two moves of the same segment could execute out of order on
+// the worker pool and leave a duplicate resident copy.
+func mergePlan(plan []move) []move {
+	if len(plan) <= 1 {
+		return plan
+	}
+	first := make(map[seg.ID]int)
+	order := make([]seg.ID, 0, len(plan))
+	merged := make(map[seg.ID]move)
+	for _, mv := range plan {
+		if prev, ok := merged[mv.id]; ok {
+			prev.to = mv.to
+			merged[mv.id] = prev
+			continue
+		}
+		first[mv.id] = len(order)
+		order = append(order, mv.id)
+		merged[mv.id] = mv
+	}
+	out := make([]move, 0, len(order))
+	for _, id := range order {
+		mv := merged[id]
+		if mv.from == mv.to {
+			continue // chain returned to its origin
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// phases splits a merged plan into barrier-separated groups whose
+// parallel execution cannot transiently overflow a tier: evictions
+// first, then tier-to-tier transfers grouped by destination (deepest
+// tier first, so space is drained downward before it is claimed), and
+// finally fetches from the PFS. The model's capacity accounting
+// guarantees the final state fits; the phasing guarantees every
+// intermediate state does too.
+func phases(plan []move, tierCount int) [][]move {
+	var evicts, fetches []move
+	transfers := make([][]move, tierCount)
+	for _, mv := range plan {
+		switch {
+		case mv.to < 0:
+			evicts = append(evicts, mv)
+		case mv.from >= 0:
+			transfers[mv.to] = append(transfers[mv.to], mv)
+		default:
+			fetches = append(fetches, mv)
+		}
+	}
+	out := make([][]move, 0, tierCount+2)
+	if len(evicts) > 0 {
+		out = append(out, evicts)
+	}
+	for to := tierCount - 1; to >= 0; to-- {
+		if len(transfers[to]) > 0 {
+			out = append(out, transfers[to])
+		}
+	}
+	if len(fetches) > 0 {
+		out = append(out, fetches)
+	}
+	return out
+}
+
+// dropFile removes every resident segment of file (consistency after a
+// write event).
+func (e *Engine) dropFile(file string) {
+	n := e.hier.DeleteFile(file)
+	if n > 0 {
+		e.ctr.evictions.Add(int64(n))
+	}
+	var dropped []seg.ID
+	e.mu.Lock()
+	for ti := range e.resident {
+		for id, ent := range e.resident[ti] {
+			if id.File == file {
+				delete(e.resident[ti], id)
+				e.used[ti] -= ent.size
+				dropped = append(dropped, id)
+			}
+		}
+	}
+	e.mu.Unlock()
+	for _, id := range dropped {
+		e.aud.DeleteMapping(id)
+	}
+}
+
+// locate returns the tier index holding id in the engine model, or -1.
+func (e *Engine) locate(id seg.ID) int {
+	for ti := range e.resident {
+		if _, ok := e.resident[ti][id]; ok {
+			return ti
+		}
+	}
+	return -1
+}
+
+// plan runs Algorithm 1 for one update, mutating the residency model and
+// appending the required moves.
+func (e *Engine) plan(u auditor.Update, plan *[]move) {
+	if u.Size <= 0 {
+		return
+	}
+	cur := e.locate(u.ID)
+	if cur >= 0 {
+		ent := e.resident[cur][u.ID]
+		// Hysteresis: small score drift does not justify data movement —
+		// update the model in place and keep the tier.
+		if h := e.cfg.Hysteresis; h > 0 && u.Score > e.cfg.MinScore {
+			base := ent.score
+			if base < u.Score {
+				base = u.Score
+			}
+			if base > 0 && abs(u.Score-ent.score)/base < h && u.Size == ent.size {
+				e.resident[cur][u.ID] = entry{score: u.Score, size: ent.size}
+				return
+			}
+		}
+		// Remove from the model so watermarks exclude the segment itself;
+		// re-placement decides whether it stays, moves, or is evicted.
+		delete(e.resident[cur], u.ID)
+		e.used[cur] -= ent.size
+	}
+	if u.Score <= e.cfg.MinScore {
+		if cur >= 0 {
+			*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1})
+		}
+		return
+	}
+	switch e.cfg.Policy {
+	case PolicyRandom, PolicyRoundRobin:
+		e.placeFlat(u, cur, plan)
+	default:
+		e.place(u, cur, 0, plan)
+	}
+}
+
+// placeFlat implements the ablation policies: pick a tier without
+// considering scores, never demote.
+func (e *Engine) placeFlat(u auditor.Update, cur int, plan *[]move) {
+	n := e.hier.Len()
+	start := 0
+	if e.cfg.Policy == PolicyRoundRobin {
+		start = int(e.rrNext) % n
+		e.rrNext++
+	} else {
+		// Deterministic pseudo-random pick derived from the segment, so
+		// runs are reproducible.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(u.ID.File); i++ {
+			h = (h ^ uint64(u.ID.File[i])) * 1099511628211
+		}
+		h ^= uint64(u.ID.Index) * 0x9e3779b97f4a7c15
+		start = int(h % uint64(n))
+	}
+	for i := 0; i < n; i++ {
+		ti := (start + i) % n
+		if e.used[ti]+u.Size <= e.hier.Tier(ti).Capacity() {
+			e.resident[ti][u.ID] = entry{score: u.Score, size: u.Size}
+			e.used[ti] += u.Size
+			if cur != ti {
+				*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: ti})
+			}
+			return
+		}
+	}
+	if cur >= 0 { // nothing fits anywhere: evict
+		*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1})
+	}
+}
+
+// place implements CalculatePlacement(segment, tier).
+func (e *Engine) place(u auditor.Update, cur, ti int, plan *[]move) {
+	if ti >= e.hier.Len() {
+		// Below the hierarchy: not prefetched (or evicted if resident).
+		if cur >= 0 {
+			*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1})
+		}
+		return
+	}
+	tier := e.hier.Tier(ti)
+	if e.used[ti]+u.Size > tier.Capacity() {
+		// Tier full for this segment: admit only if it outranks the
+		// coldest residents, demoting them to make room (DemoteSegments).
+		if u.Score > e.minResident(ti) {
+			e.demoteUntilFits(u, ti, plan)
+		}
+		if e.used[ti]+u.Size > tier.Capacity() {
+			e.place(u, cur, ti+1, plan)
+			return
+		}
+	}
+	e.resident[ti][u.ID] = entry{score: u.Score, size: u.Size}
+	e.used[ti] += u.Size
+	if cur != ti {
+		*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: ti})
+	}
+}
+
+// minResident returns the lowest resident score in tier ti, or +inf when
+// empty (an empty-but-too-small tier admits nothing bigger than itself).
+func (e *Engine) minResident(ti int) float64 {
+	if len(e.resident[ti]) == 0 {
+		return math.Inf(1)
+	}
+	min := math.Inf(1)
+	for _, ent := range e.resident[ti] {
+		if ent.score < min {
+			min = ent.score
+		}
+	}
+	return min
+}
+
+// demoteUntilFits demotes the coldest residents of ti (strictly colder
+// than u) one tier down until u fits. Ties are left in place — the
+// incoming segment goes deeper instead (deterministic variant of the
+// paper's random tie policy).
+func (e *Engine) demoteUntilFits(u auditor.Update, ti int, plan *[]move) {
+	tier := e.hier.Tier(ti)
+	type cand struct {
+		id  seg.ID
+		ent entry
+	}
+	var cands []cand
+	for id, ent := range e.resident[ti] {
+		if ent.score < u.Score {
+			cands = append(cands, cand{id, ent})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ent.score < cands[j].ent.score })
+	for _, c := range cands {
+		if e.used[ti]+u.Size <= tier.Capacity() {
+			return
+		}
+		delete(e.resident[ti], c.id)
+		e.used[ti] -= c.ent.size
+		du := auditor.Update{ID: c.id, Score: c.ent.score, Size: c.ent.size}
+		e.place(du, ti, ti+1, plan)
+	}
+}
+
+// execute performs the planned moves with the worker pool, phase by
+// phase, and records mapping changes.
+func (e *Engine) execute(plan []move) {
+	if len(plan) == 0 {
+		return
+	}
+	for _, phase := range phases(plan, e.hier.Len()) {
+		ch := make(chan move)
+		var wg sync.WaitGroup
+		workers := e.cfg.Workers
+		if workers > len(phase) {
+			workers = len(phase)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for mv := range ch {
+					e.executeOne(mv)
+				}
+			}()
+		}
+		for _, mv := range phase {
+			ch <- mv
+		}
+		close(ch)
+		wg.Wait()
+	}
+}
+
+func (e *Engine) executeOne(mv move) {
+	switch {
+	case mv.to < 0: // eviction
+		if mv.from >= 0 {
+			if err := e.mover.Evict(mv.id, e.hier.Tier(mv.from)); err == nil {
+				e.ctr.evictions.Add(1)
+			}
+		}
+		e.aud.DeleteMapping(mv.id)
+	case mv.from < 0: // fetch from the PFS
+		if err := e.mover.Fetch(mv.id, mv.size, e.hier.Tier(mv.to)); err != nil {
+			e.ctr.failed.Add(1)
+			e.reconcile(mv)
+			return
+		}
+		e.ctr.placements.Add(1)
+		e.aud.SetMapping(mv.id, e.hier.Tier(mv.to).Name())
+	default: // tier-to-tier transfer
+		if err := e.mover.Transfer(mv.id, e.hier.Tier(mv.from), e.hier.Tier(mv.to)); err != nil {
+			e.ctr.failed.Add(1)
+			e.reconcile(mv)
+			return
+		}
+		if mv.to < mv.from {
+			e.ctr.promotions.Add(1)
+		} else {
+			e.ctr.demotions.Add(1)
+		}
+		e.aud.SetMapping(mv.id, e.hier.Tier(mv.to).Name())
+	}
+}
+
+// reconcile realigns the model and the mapping with the actual store
+// state after a failed move, so a divergence can never duplicate a
+// segment across tiers on a later run.
+func (e *Engine) reconcile(mv move) {
+	actual := e.hier.Locate(mv.id)
+	e.mu.Lock()
+	for ti := range e.resident {
+		if ti == actual {
+			continue
+		}
+		if ent, ok := e.resident[ti][mv.id]; ok {
+			delete(e.resident[ti], mv.id)
+			e.used[ti] -= ent.size
+		}
+	}
+	if actual >= 0 {
+		if _, ok := e.resident[actual][mv.id]; !ok {
+			size := e.hier.Tier(actual).SizeOf(mv.id)
+			e.resident[actual][mv.id] = entry{score: 0, size: size}
+			e.used[actual] += size
+		}
+	}
+	e.mu.Unlock()
+	if actual >= 0 {
+		e.aud.SetMapping(mv.id, e.hier.Tier(actual).Name())
+	} else {
+		e.aud.DeleteMapping(mv.id)
+	}
+}
+
+// Resident reports the engine's view of where id lives (-1 = not
+// prefetched).
+func (e *Engine) Resident(id seg.ID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.locate(id)
+}
+
+// TierLoad returns the engine's modeled byte usage per tier.
+func (e *Engine) TierLoad() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int64, len(e.used))
+	copy(out, e.used)
+	return out
+}
+
+// Counters returns a snapshot of engine statistics.
+func (e *Engine) Counters() Stats {
+	return Stats{
+		Runs:        e.ctr.runs.Load(),
+		Updates:     e.ctr.updates.Load(),
+		Placements:  e.ctr.placements.Load(),
+		Promotions:  e.ctr.promotions.Load(),
+		Demotions:   e.ctr.demotions.Load(),
+		Evictions:   e.ctr.evictions.Load(),
+		FailedMoves: e.ctr.failed.Load(),
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,381 @@
+// Package remote implements the wire protocol between HFetch agents and
+// a standalone HFetch server daemon (cmd/hfetchd). In the emulated
+// cluster, agents call the server in-process; across processes the same
+// agent operations — open (start epoch), read (prefetched-or-PFS), write
+// (invalidate), close (end epoch) — travel over the node-to-node
+// communicator as gob-encoded request/response messages.
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"hfetch/internal/comm"
+	"hfetch/internal/core/seg"
+	"hfetch/internal/core/server"
+	"hfetch/internal/events"
+	"hfetch/internal/metrics"
+	"hfetch/internal/pfs"
+)
+
+// Message types of the agent protocol.
+const (
+	MsgOpen  = "agent.open"
+	MsgRead  = "agent.read"
+	MsgWrite = "agent.write"
+	MsgClose = "agent.close"
+	MsgStats = "ctl.stats"
+	MsgTiers = "ctl.tiers"
+)
+
+type openReq struct{ File string }
+type openResp struct{ Size int64 }
+
+type readReq struct {
+	File string
+	Off  int64
+	Len  int64
+}
+
+type readResp struct {
+	Data []byte
+	Tier string // tier that served it; empty = PFS (miss)
+}
+
+type writeReq struct {
+	File string
+	Off  int64
+	Len  int64
+}
+
+type closeReq struct{ File string }
+
+// StatsReply is the ctl.stats payload.
+type StatsReply struct {
+	Node          string
+	Events        int64
+	Reads         int64
+	Invalidations int64
+	SegmentsSeen  int64
+	EngineRuns    int64
+	Placements    int64
+	Promotions    int64
+	Demotions     int64
+	Evictions     int64
+	RemoteReads   int64
+	RemoteServes  int64
+}
+
+// TierInfo is one tier's line in the ctl.tiers reply.
+type TierInfo struct {
+	Name     string
+	Capacity int64
+	Used     int64
+	Segments int
+}
+
+func enc(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func dec(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// Serve registers the agent protocol handlers for srv on mux.
+func Serve(mux *comm.Mux, srv *server.Server) {
+	mux.Register(MsgOpen, func(raw []byte) ([]byte, error) {
+		var req openReq
+		if err := dec(raw, &req); err != nil {
+			return nil, err
+		}
+		fi, err := srv.FS().Stat(req.File)
+		if err != nil {
+			return nil, err
+		}
+		srv.StartEpoch(req.File, fi.Size)
+		return enc(openResp{Size: fi.Size})
+	})
+	mux.Register(MsgRead, func(raw []byte) ([]byte, error) {
+		var req readReq
+		if err := dec(raw, &req); err != nil {
+			return nil, err
+		}
+		data, tier, err := serveRead(srv, req)
+		if err != nil {
+			return nil, err
+		}
+		return enc(readResp{Data: data, Tier: tier})
+	})
+	mux.Register(MsgWrite, func(raw []byte) ([]byte, error) {
+		var req writeReq
+		if err := dec(raw, &req); err != nil {
+			return nil, err
+		}
+		if _, err := srv.FS().Write(req.File, req.Off, req.Len); err != nil {
+			return nil, err
+		}
+		srv.PostEvent(events.Event{Op: events.OpWrite, File: req.File, Offset: req.Off, Length: req.Len})
+		return nil, nil
+	})
+	mux.Register(MsgClose, func(raw []byte) ([]byte, error) {
+		var req closeReq
+		if err := dec(raw, &req); err != nil {
+			return nil, err
+		}
+		srv.EndEpoch(req.File)
+		return nil, nil
+	})
+	mux.Register(MsgStats, func(raw []byte) ([]byte, error) {
+		ac := srv.Auditor().Counters()
+		ec := srv.Engine().Counters()
+		rr, rs := srv.RemoteStats()
+		return enc(StatsReply{
+			Node:          srv.Node(),
+			Events:        ac.Events,
+			Reads:         ac.Reads,
+			Invalidations: ac.Invalidations,
+			SegmentsSeen:  ac.SegmentsSeen,
+			EngineRuns:    ec.Runs,
+			Placements:    ec.Placements,
+			Promotions:    ec.Promotions,
+			Demotions:     ec.Demotions,
+			Evictions:     ec.Evictions,
+			RemoteReads:   rr,
+			RemoteServes:  rs,
+		})
+	})
+	mux.Register(MsgTiers, func(raw []byte) ([]byte, error) {
+		var out []TierInfo
+		for _, st := range srv.Hierarchy().Stores() {
+			out = append(out, TierInfo{
+				Name: st.Name(), Capacity: st.Capacity(), Used: st.Used(), Segments: st.Len(),
+			})
+		}
+		return enc(out)
+	})
+}
+
+// serveRead performs the server-side read path: prefetched segments from
+// their tiers, the rest from the PFS, with the access event posted.
+func serveRead(srv *server.Server, req readReq) ([]byte, string, error) {
+	if req.Len <= 0 || req.Off < 0 {
+		return nil, "", fmt.Errorf("remote: bad read [%d,+%d)", req.Off, req.Len)
+	}
+	fi, err := srv.FS().Stat(req.File)
+	if err != nil {
+		return nil, "", err
+	}
+	want := req.Len
+	if req.Off >= fi.Size {
+		return nil, "", nil
+	}
+	if req.Off+want > fi.Size {
+		want = fi.Size - req.Off
+	}
+	out := make([]byte, want)
+	segr := srv.Segmenter()
+	tier := ""
+	allHit := true
+	n := int64(0)
+	for n < want {
+		cur := req.Off + n
+		id := seg.ID{File: req.File, Index: segr.IndexOf(cur)}
+		segOff := cur - id.Index*segr.Size()
+		chunk := segr.RangeOf(id, fi.Size).End() - cur
+		if chunk > want-n {
+			chunk = want - n
+		}
+		if chunk <= 0 {
+			break
+		}
+		if got, t, ok := srv.ReadPrefetched(id, segOff, out[n:n+chunk]); ok && int64(got) == chunk {
+			tier = t
+			n += chunk
+			continue
+		}
+		allHit = false
+		got, _, err := srv.FS().ReadAt(req.File, cur, out[n:n+chunk])
+		if err != nil {
+			return nil, "", err
+		}
+		n += int64(got)
+		if int64(got) < chunk {
+			break
+		}
+	}
+	srv.PostEvent(events.Event{Op: events.OpRead, File: req.File, Offset: req.Off, Length: n})
+	if !allHit {
+		tier = ""
+	}
+	return out[:n], tier, nil
+}
+
+// Client is a remote HFetch agent speaking to an hfetchd daemon.
+type Client struct {
+	peer  comm.Peer
+	stats *metrics.IOStats
+}
+
+// Dial connects to a daemon at addr.
+func Dial(addr string) (*Client, error) {
+	peer, err := comm.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{peer: peer, stats: metrics.NewIOStats()}, nil
+}
+
+// NewClient wraps an existing peer (tests use the in-process fabric).
+func NewClient(peer comm.Peer) *Client {
+	return &Client{peer: peer, stats: metrics.NewIOStats()}
+}
+
+// Stats returns the client-side I/O statistics.
+func (c *Client) Stats() *metrics.IOStats { return c.stats }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.peer.Close() }
+
+// Ping probes the daemon's liveness.
+func (c *Client) Ping() bool { return comm.Ping(c.peer, []byte("hfetch")) }
+
+// Stats queries the daemon's counters.
+func (c *Client) ServerStats() (StatsReply, error) {
+	raw, err := c.peer.Request(MsgStats, nil)
+	if err != nil {
+		return StatsReply{}, err
+	}
+	var out StatsReply
+	err = dec(raw, &out)
+	return out, err
+}
+
+// Tiers queries the daemon's tier occupancy.
+func (c *Client) Tiers() ([]TierInfo, error) {
+	raw, err := c.peer.Request(MsgTiers, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []TierInfo
+	err = dec(raw, &out)
+	return out, err
+}
+
+// File is a remote open file.
+type File struct {
+	c    *Client
+	name string
+	size int64
+}
+
+// Open opens name for reading and begins its prefetching epoch.
+func (c *Client) Open(name string) (*File, error) {
+	req, err := enc(openReq{File: name})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.peer.Request(MsgOpen, req)
+	if err != nil {
+		return nil, err
+	}
+	var resp openResp
+	if err := dec(raw, &resp); err != nil {
+		return nil, err
+	}
+	return &File{c: c, name: name, size: resp.Size}, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file size at open time.
+func (f *File) Size() int64 { return f.size }
+
+// ReadAt reads len(p) bytes at off through the daemon.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	n, _, err := f.ReadAtTier(p, off)
+	return n, err
+}
+
+// ReadAtTier is ReadAt plus the name of the tier that served the bytes
+// ("" when they came from the PFS).
+func (f *File) ReadAtTier(p []byte, off int64) (int, string, error) {
+	req, err := enc(readReq{File: f.name, Off: off, Len: int64(len(p))})
+	if err != nil {
+		return 0, "", err
+	}
+	t := metrics.StartTimer()
+	raw, err := f.c.peer.Request(MsgRead, req)
+	if err != nil {
+		return 0, "", err
+	}
+	var resp readResp
+	if err := dec(raw, &resp); err != nil {
+		return 0, "", err
+	}
+	n := copy(p, resp.Data)
+	if resp.Tier != "" {
+		f.c.stats.Hit(resp.Tier, int64(n))
+	} else {
+		f.c.stats.Miss(int64(n))
+	}
+	f.c.stats.ObserveRead(t.Elapsed())
+	return n, resp.Tier, nil
+}
+
+// WriteAt emulates an update (invalidating prefetched data).
+func (f *File) WriteAt(off, ln int64) error {
+	req, err := enc(writeReq{File: f.name, Off: off, Len: ln})
+	if err != nil {
+		return err
+	}
+	_, err = f.c.peer.Request(MsgWrite, req)
+	return err
+}
+
+// Close ends this reader's epoch.
+func (f *File) Close() error {
+	req, err := enc(closeReq{File: f.name})
+	if err != nil {
+		return err
+	}
+	_, err = f.c.peer.Request(MsgClose, req)
+	return err
+}
+
+// CreateFile registers a synthetic file on the daemon's PFS (testing and
+// demo convenience; production deployments would point HFetch at real
+// data).
+const MsgCreate = "ctl.create"
+
+type createReq struct {
+	File string
+	Size int64
+}
+
+// ServeAdmin registers administrative handlers (file creation).
+func ServeAdmin(mux *comm.Mux, fs *pfs.FS) {
+	mux.Register(MsgCreate, func(raw []byte) ([]byte, error) {
+		var req createReq
+		if err := dec(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, fs.Create(req.File, req.Size)
+	})
+}
+
+// CreateFile asks the daemon to register a synthetic file.
+func (c *Client) CreateFile(name string, size int64) error {
+	req, err := enc(createReq{File: name, Size: size})
+	if err != nil {
+		return err
+	}
+	_, err = c.peer.Request(MsgCreate, req)
+	return err
+}

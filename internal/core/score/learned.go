@@ -1,0 +1,123 @@
+package score
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Learned is the paper's future-work extension ("enhance its scoring
+// models with machine learning"): an online logistic-regression model
+// that predicts the probability a segment will be re-accessed soon,
+// from the same statistics Equation (1) consumes — frequency, recency,
+// and reference count.
+//
+// Training is fully online and label-free from the system's viewpoint:
+//   - every re-access of a segment is a positive example for the
+//     segment's state *before* that access;
+//   - segments that end an epoch with a single access (touched once,
+//     never re-read) are negative examples.
+//
+// The prediction multiplies the analytic score (see Model.Blend), so an
+// untrained or disabled learner leaves HFetch's behaviour unchanged.
+type Learned struct {
+	mu sync.Mutex
+	// w holds [bias, log1p(K), recency decay, log1p(refs)] weights.
+	w    [4]float64
+	lr   float64
+	unit float64 // seconds per recency unit
+
+	positives int64
+	negatives int64
+}
+
+// NewLearned creates a model with learning rate lr (default 0.05) and
+// the given recency unit (default 1s).
+func NewLearned(lr float64, unit time.Duration) *Learned {
+	if lr <= 0 {
+		lr = 0.05
+	}
+	if unit <= 0 {
+		unit = time.Second
+	}
+	return &Learned{lr: lr, unit: unit.Seconds()}
+}
+
+// features maps segment statistics to the model's input vector. K and
+// Last describe the state whose future is being predicted.
+func (l *Learned) features(k int64, last time.Time, refs int64, now time.Time) [4]float64 {
+	rec := now.Sub(last).Seconds() / l.unit
+	if rec < 0 {
+		rec = 0
+	}
+	return [4]float64{
+		1,
+		math.Log1p(float64(k)),
+		math.Exp(-rec),
+		math.Log1p(float64(refs - 1)),
+	}
+}
+
+func dot(w, x [4]float64) float64 {
+	return w[0]*x[0] + w[1]*x[1] + w[2]*x[2] + w[3]*x[3]
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Predict returns the probability in (0, 1) that a segment in the given
+// state will be re-accessed soon. An untrained model returns 0.5.
+func (l *Learned) Predict(k int64, last time.Time, refs int64, now time.Time) float64 {
+	x := l.features(k, last, refs, now)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return sigmoid(dot(l.w, x))
+}
+
+// Observe performs one SGD step: the segment was in state (k, last,
+// refs) at time now, and reaccessed says whether it was read again.
+func (l *Learned) Observe(k int64, last time.Time, refs int64, now time.Time, reaccessed bool) {
+	x := l.features(k, last, refs, now)
+	y := 0.0
+	if reaccessed {
+		y = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := sigmoid(dot(l.w, x))
+	g := p - y
+	for i := range l.w {
+		l.w[i] -= l.lr * g * x[i]
+	}
+	if reaccessed {
+		l.positives++
+	} else {
+		l.negatives++
+	}
+}
+
+// Examples returns how many positive and negative examples have been
+// absorbed.
+func (l *Learned) Examples() (pos, neg int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.positives, l.negatives
+}
+
+// Weights returns a snapshot of the model weights
+// [bias, frequency, recency, references].
+func (l *Learned) Weights() [4]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w
+}
+
+// Blend combines the analytic Equation (1) score with the learned
+// re-access probability: score · 2p, so p = 0.5 (untrained / uncertain)
+// is the identity, confident re-access doubles the urgency, and
+// confident one-shot access suppresses it.
+func Blend(analytic, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return analytic * 2 * p
+}

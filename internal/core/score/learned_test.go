@@ -1,0 +1,94 @@
+package score
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUntrainedPredictsHalf(t *testing.T) {
+	l := NewLearned(0, 0)
+	if p := l.Predict(1, t0, 1, t0); p != 0.5 {
+		t.Fatalf("untrained prediction = %v, want 0.5", p)
+	}
+}
+
+func TestLearnsFrequencySignal(t *testing.T) {
+	l := NewLearned(0.1, time.Second)
+	// Synthetic truth: segments with many accesses get re-accessed,
+	// one-shot segments do not.
+	for i := 0; i < 2000; i++ {
+		l.Observe(8, t0, 2, t0.Add(100*time.Millisecond), true)
+		l.Observe(1, t0, 1, t0.Add(100*time.Millisecond), false)
+	}
+	hot := l.Predict(8, t0, 2, t0.Add(100*time.Millisecond))
+	cold := l.Predict(1, t0, 1, t0.Add(100*time.Millisecond))
+	if hot < 0.8 || cold > 0.2 {
+		t.Fatalf("model did not separate classes: hot=%v cold=%v", hot, cold)
+	}
+	pos, neg := l.Examples()
+	if pos != 2000 || neg != 2000 {
+		t.Fatalf("examples = %d/%d", pos, neg)
+	}
+}
+
+func TestLearnsRecencySignal(t *testing.T) {
+	l := NewLearned(0.1, time.Second)
+	// Same frequency; recently-touched segments are re-accessed, stale
+	// ones are not.
+	for i := 0; i < 3000; i++ {
+		l.Observe(3, t0, 1, t0.Add(50*time.Millisecond), true) // fresh
+		l.Observe(3, t0, 1, t0.Add(20*time.Second), false)     // stale
+	}
+	fresh := l.Predict(3, t0, 1, t0.Add(50*time.Millisecond))
+	stale := l.Predict(3, t0, 1, t0.Add(20*time.Second))
+	if fresh <= stale {
+		t.Fatalf("recency not learned: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestNegativeRecencyClamped(t *testing.T) {
+	l := NewLearned(0.1, time.Second)
+	// now before last must not produce NaN/expansion.
+	p := l.Predict(1, t0.Add(time.Hour), 1, t0)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("clamped prediction = %v", p)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	if Blend(2, 0.5) != 2 {
+		t.Fatal("p=0.5 must be identity")
+	}
+	if Blend(2, 1) != 4 {
+		t.Fatal("p=1 must double")
+	}
+	if Blend(2, 0) != 0 {
+		t.Fatal("p=0 must zero")
+	}
+}
+
+func TestLearnedConcurrentUse(t *testing.T) {
+	l := NewLearned(0.05, time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				k := int64(rng.Intn(10) + 1)
+				l.Observe(k, t0, 1, t0.Add(time.Second), k > 5)
+				l.Predict(k, t0, 1, t0.Add(time.Second))
+			}
+		}(w)
+	}
+	wg.Wait()
+	w := l.Weights()
+	for _, v := range w {
+		if v != v { // NaN check
+			t.Fatalf("weights corrupted: %v", w)
+		}
+	}
+}

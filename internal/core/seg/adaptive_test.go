@@ -1,0 +1,127 @@
+package seg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdaptiveFirstObserve(t *testing.T) {
+	a := NewAdaptive(0)
+	got := a.Observe(100, 50)
+	if len(got) != 1 || got[0] != (Range{Off: 100, Len: 50}) {
+		t.Fatalf("Observe = %v, want single {100 50}", got)
+	}
+}
+
+func TestAdaptiveIdenticalRequestsStable(t *testing.T) {
+	a := NewAdaptive(0)
+	a.Observe(0, 100)
+	got := a.Observe(0, 100)
+	if len(got) != 1 || got[0].Len != 100 {
+		t.Fatalf("repeat Observe = %v, want stable single segment", got)
+	}
+	if n := len(a.Segments()); n != 1 {
+		t.Fatalf("segments = %d, want 1", n)
+	}
+}
+
+func TestAdaptiveSplitsOnPartialOverlap(t *testing.T) {
+	a := NewAdaptive(0)
+	a.Observe(0, 100)
+	got := a.Observe(50, 100) // overlaps [50,100), extends to [100,150)
+	// Expect cover = [50,100) + [100,150)
+	if len(got) != 2 || got[0] != (Range{Off: 50, Len: 50}) || got[1] != (Range{Off: 100, Len: 50}) {
+		t.Fatalf("Observe split = %v, want [{50 50} {100 50}]", got)
+	}
+	segs := a.Segments()
+	if len(segs) != 3 || segs[0] != (Range{Off: 0, Len: 50}) {
+		t.Fatalf("segments = %v, want [{0 50} {50 50} {100 50}]", segs)
+	}
+}
+
+func TestAdaptiveInteriorRequestSplitsBothSides(t *testing.T) {
+	a := NewAdaptive(0)
+	a.Observe(0, 300)
+	got := a.Observe(100, 100)
+	if len(got) != 1 || got[0] != (Range{Off: 100, Len: 100}) {
+		t.Fatalf("interior Observe = %v, want [{100 100}]", got)
+	}
+	if n := len(a.Segments()); n != 3 {
+		t.Fatalf("segments = %d, want 3", n)
+	}
+}
+
+func TestAdaptiveGapFill(t *testing.T) {
+	a := NewAdaptive(0)
+	a.Observe(0, 10)
+	a.Observe(90, 10)
+	got := a.Observe(0, 100) // spans both plus the gap
+	total := int64(0)
+	for _, r := range got {
+		total += r.Len
+	}
+	if total != 100 {
+		t.Fatalf("covering segments total %d bytes, want 100 (%v)", total, got)
+	}
+}
+
+func TestAdaptiveZeroAndNegative(t *testing.T) {
+	a := NewAdaptive(0)
+	if got := a.Observe(0, 0); got != nil {
+		t.Fatalf("Observe(0,0) = %v, want nil", got)
+	}
+	if got := a.Observe(-1, 5); got != nil {
+		t.Fatalf("Observe(-1,5) = %v, want nil", got)
+	}
+}
+
+func TestAdaptiveCoalesceCap(t *testing.T) {
+	a := NewAdaptive(4)
+	for i := int64(0); i < 16; i++ {
+		a.Observe(i*10, 10)
+	}
+	if n := len(a.Segments()); n > 8 {
+		t.Fatalf("segments after cap = %d, want coalescing to keep it bounded", n)
+	}
+}
+
+// Properties: segments are always sorted, non-overlapping, and every
+// Observe's returned cover tiles the request exactly.
+func TestAdaptiveInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAdaptive(0)
+		for i := 0; i < 50; i++ {
+			off := int64(rng.Intn(1000))
+			ln := int64(rng.Intn(200) + 1)
+			cover := a.Observe(off, ln)
+			// Cover tiles [off, off+ln) exactly.
+			cur := off
+			for _, r := range cover {
+				lo := r.Off
+				if lo < off {
+					return false // segments returned must start within request after splitting
+				}
+				if lo != cur {
+					return false
+				}
+				cur = r.End()
+			}
+			if cur != off+ln {
+				return false
+			}
+			// Global invariant: sorted, disjoint.
+			segs := a.Segments()
+			for j := 1; j < len(segs); j++ {
+				if segs[j].Off < segs[j-1].End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

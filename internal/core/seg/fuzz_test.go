@@ -1,0 +1,71 @@
+package seg
+
+import "testing"
+
+// FuzzCover checks the fixed-grain coverage invariants on arbitrary
+// inputs: covered segments are contiguous, bracket the request, and
+// IndexOf agrees with the first element.
+func FuzzCover(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(1))
+	f.Add(int64(4095), int64(8192), int64(4096))
+	f.Add(int64(1<<40), int64(1<<20), int64(1<<20))
+	f.Fuzz(func(t *testing.T, off, ln, size int64) {
+		if size <= 0 || size > 1<<30 {
+			size = 1 << 20
+		}
+		s := NewSegmenter(size)
+		ids := s.Cover("f", off, ln)
+		if off < 0 || ln <= 0 {
+			if ids != nil {
+				t.Fatalf("invalid request produced coverage: %v", ids)
+			}
+			return
+		}
+		if len(ids) == 0 {
+			t.Fatal("valid request produced no coverage")
+		}
+		if ids[0].Index != s.IndexOf(off) {
+			t.Fatalf("first segment %d != IndexOf %d", ids[0].Index, s.IndexOf(off))
+		}
+		last := off + ln - 1
+		if ids[len(ids)-1].Index != last/size {
+			t.Fatal("last segment does not cover request end")
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i].Index != ids[i-1].Index+1 {
+				t.Fatal("coverage not contiguous")
+			}
+		}
+	})
+}
+
+// FuzzAdaptiveObserve checks the adaptive segmenter's invariants under
+// arbitrary request streams encoded as byte pairs.
+func FuzzAdaptiveObserve(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewAdaptive(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			off := int64(data[i]) * 16
+			ln := int64(data[i+1]%64) + 1
+			cover := a.Observe(off, ln)
+			cur := off
+			for _, r := range cover {
+				if r.Off != cur {
+					t.Fatalf("cover gap at %d: %+v", cur, cover)
+				}
+				cur = r.End()
+			}
+			if cur != off+ln {
+				t.Fatalf("cover does not tile request: end %d want %d", cur, off+ln)
+			}
+			segs := a.Segments()
+			for j := 1; j < len(segs); j++ {
+				if segs[j].Off < segs[j-1].End() {
+					t.Fatalf("segments overlap: %+v", segs)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+// Package seg defines the file segment, HFetch's unit of prefetching.
+//
+// A segment is a region of a file enclosed by start and end offsets. All
+// prefetching operations in HFetch are expressed as loading one or more
+// segments, and every incoming read request is decomposed into the set of
+// segments it covers. The default segmenter divides a file into fixed-size
+// buckets; the adaptive segmenter (see adaptive.go) instead derives segment
+// boundaries from the observed request stream, which is the paper's
+// "dynamic segment size" behaviour.
+package seg
+
+import (
+	"fmt"
+)
+
+// DefaultSize is the default segment granularity (1 MiB in the paper's
+// examples).
+const DefaultSize int64 = 1 << 20
+
+// ID uniquely identifies a segment of a file under fixed-grain
+// segmentation: the Index-th bucket of Size bytes.
+type ID struct {
+	File  string
+	Index int64
+}
+
+func (id ID) String() string { return fmt.Sprintf("%s#%d", id.File, id.Index) }
+
+// Range is a byte range [Off, Off+Len) within a file.
+type Range struct {
+	Off int64
+	Len int64
+}
+
+// End returns the exclusive end offset of the range.
+func (r Range) End() int64 { return r.Off + r.Len }
+
+// Overlaps reports whether two ranges share at least one byte.
+func (r Range) Overlaps(o Range) bool {
+	return r.Off < o.End() && o.Off < r.End()
+}
+
+// Intersect returns the overlapping part of two ranges and whether it is
+// non-empty.
+func (r Range) Intersect(o Range) (Range, bool) {
+	lo, hi := r.Off, r.End()
+	if o.Off > lo {
+		lo = o.Off
+	}
+	if o.End() < hi {
+		hi = o.End()
+	}
+	if lo >= hi {
+		return Range{}, false
+	}
+	return Range{Off: lo, Len: hi - lo}, true
+}
+
+// Segmenter maps byte ranges of a file to segment IDs and back.
+type Segmenter struct {
+	size int64
+}
+
+// NewSegmenter returns a fixed-grain segmenter. Non-positive sizes fall
+// back to DefaultSize.
+func NewSegmenter(size int64) *Segmenter {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Segmenter{size: size}
+}
+
+// Size returns the segment granularity in bytes.
+func (s *Segmenter) Size() int64 { return s.size }
+
+// Cover returns the IDs of every segment touched by a read of length ln
+// starting at off in file. A zero/negative length read covers nothing.
+func (s *Segmenter) Cover(file string, off, ln int64) []ID {
+	if ln <= 0 || off < 0 {
+		return nil
+	}
+	first := off / s.size
+	last := (off + ln - 1) / s.size
+	ids := make([]ID, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		ids = append(ids, ID{File: file, Index: i})
+	}
+	return ids
+}
+
+// RangeOf returns the byte range occupied by segment id, clipped to
+// fileSize when fileSize > 0.
+func (s *Segmenter) RangeOf(id ID, fileSize int64) Range {
+	r := Range{Off: id.Index * s.size, Len: s.size}
+	if fileSize > 0 {
+		if r.Off >= fileSize {
+			return Range{Off: r.Off, Len: 0}
+		}
+		if r.End() > fileSize {
+			r.Len = fileSize - r.Off
+		}
+	}
+	return r
+}
+
+// IndexOf returns the segment index containing offset off.
+func (s *Segmenter) IndexOf(off int64) int64 {
+	if off < 0 {
+		return 0
+	}
+	return off / s.size
+}
+
+// Count returns how many segments a file of fileSize bytes has.
+func (s *Segmenter) Count(fileSize int64) int64 {
+	if fileSize <= 0 {
+		return 0
+	}
+	return (fileSize + s.size - 1) / s.size
+}

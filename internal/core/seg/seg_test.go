@@ -1,0 +1,151 @@
+package seg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverSingleSegment(t *testing.T) {
+	s := NewSegmenter(1 << 20)
+	ids := s.Cover("f", 0, 1024)
+	if len(ids) != 1 || ids[0] != (ID{File: "f", Index: 0}) {
+		t.Fatalf("Cover = %v, want [f#0]", ids)
+	}
+}
+
+func TestCoverPaperExample(t *testing.T) {
+	// Paper: segment size 1MB, fread at offset 0 of 3MB size covers
+	// segments 1, 2 and 3 (indices 0..2 here).
+	s := NewSegmenter(1 << 20)
+	ids := s.Cover("f", 0, 3<<20)
+	if len(ids) != 3 {
+		t.Fatalf("Cover 3MB = %d segments, want 3", len(ids))
+	}
+	for i, id := range ids {
+		if id.Index != int64(i) {
+			t.Fatalf("ids[%d].Index = %d, want %d", i, id.Index, i)
+		}
+	}
+}
+
+func TestCoverSpansBoundary(t *testing.T) {
+	s := NewSegmenter(100)
+	ids := s.Cover("f", 99, 2) // bytes 99 and 100
+	if len(ids) != 2 || ids[0].Index != 0 || ids[1].Index != 1 {
+		t.Fatalf("Cover(99,2) = %v, want segments 0 and 1", ids)
+	}
+}
+
+func TestCoverExactBoundary(t *testing.T) {
+	s := NewSegmenter(100)
+	ids := s.Cover("f", 100, 100)
+	if len(ids) != 1 || ids[0].Index != 1 {
+		t.Fatalf("Cover(100,100) = %v, want [f#1]", ids)
+	}
+}
+
+func TestCoverEmptyAndNegative(t *testing.T) {
+	s := NewSegmenter(100)
+	if ids := s.Cover("f", 0, 0); ids != nil {
+		t.Fatalf("Cover zero length = %v, want nil", ids)
+	}
+	if ids := s.Cover("f", -5, 10); ids != nil {
+		t.Fatalf("Cover negative offset = %v, want nil", ids)
+	}
+}
+
+func TestRangeOfClipsToFileSize(t *testing.T) {
+	s := NewSegmenter(100)
+	r := s.RangeOf(ID{File: "f", Index: 2}, 250)
+	if r.Off != 200 || r.Len != 50 {
+		t.Fatalf("RangeOf clipped = %+v, want {200 50}", r)
+	}
+	r = s.RangeOf(ID{File: "f", Index: 5}, 250)
+	if r.Len != 0 {
+		t.Fatalf("RangeOf beyond EOF = %+v, want zero length", r)
+	}
+	r = s.RangeOf(ID{File: "f", Index: 1}, 0) // unknown file size
+	if r.Off != 100 || r.Len != 100 {
+		t.Fatalf("RangeOf unclipped = %+v, want {100 100}", r)
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := NewSegmenter(100)
+	cases := []struct{ size, want int64 }{
+		{0, 0}, {1, 1}, {99, 1}, {100, 1}, {101, 2}, {1000, 10},
+	}
+	for _, c := range cases {
+		if got := s.Count(c.size); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestDefaultSizeFallback(t *testing.T) {
+	s := NewSegmenter(0)
+	if s.Size() != DefaultSize {
+		t.Fatalf("Size = %d, want DefaultSize", s.Size())
+	}
+}
+
+func TestRangeOverlapsAndIntersect(t *testing.T) {
+	a := Range{Off: 0, Len: 100}
+	b := Range{Off: 50, Len: 100}
+	c := Range{Off: 100, Len: 10}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("touching ranges must not overlap")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || got.Off != 50 || got.Len != 50 {
+		t.Fatalf("Intersect = %+v %v, want {50 50} true", got, ok)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint Intersect should report false")
+	}
+}
+
+// Property: covering segments tile the read exactly — union of the
+// clipped segment ranges equals the request range.
+func TestCoverTilesRequest(t *testing.T) {
+	f := func(offRaw, lnRaw uint16, sizeRaw uint8) bool {
+		size := int64(sizeRaw%200) + 1
+		s := NewSegmenter(size)
+		off := int64(offRaw % 5000)
+		ln := int64(lnRaw%5000) + 1
+		ids := s.Cover("f", off, ln)
+		if len(ids) == 0 {
+			return false
+		}
+		// First covers off, last covers off+ln-1, contiguous indices.
+		if ids[0].Index != off/size || ids[len(ids)-1].Index != (off+ln-1)/size {
+			return false
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i].Index != ids[i-1].Index+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IndexOf agrees with Cover for single-byte reads.
+func TestIndexOfMatchesCover(t *testing.T) {
+	f := func(offRaw uint16, sizeRaw uint8) bool {
+		size := int64(sizeRaw%100) + 1
+		s := NewSegmenter(size)
+		off := int64(offRaw)
+		ids := s.Cover("f", off, 1)
+		return len(ids) == 1 && ids[0].Index == s.IndexOf(off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package server composes the HFetch server that runs on every compute
+// node: the hardware monitor (event queue + daemon pool), the file
+// segment auditor, the hierarchical data placement engine, the
+// data-prefetching I/O clients, and the agent manager that client agents
+// talk to. It owns the inotify-emulation watch registry: the first
+// opener of a file installs a watch, the last closer removes it, and
+// only watched files generate events.
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"sync/atomic"
+
+	"fmt"
+	"hfetch/internal/comm"
+	"time"
+
+	"hfetch/internal/core/auditor"
+	"hfetch/internal/core/heatmap"
+	"hfetch/internal/core/ioclient"
+	"hfetch/internal/core/monitor"
+	"hfetch/internal/core/placement"
+	"hfetch/internal/core/score"
+	"hfetch/internal/core/seg"
+	"hfetch/internal/dhm"
+	"hfetch/internal/events"
+	"hfetch/internal/pfs"
+	"hfetch/internal/tiers"
+)
+
+// Config configures one HFetch server node.
+type Config struct {
+	// Node names this server in the cluster (default "node0").
+	Node string
+	// SegmentSize is the prefetching grain in bytes (default 1 MiB).
+	SegmentSize int64
+	// Score are the Equation (1) parameters.
+	Score score.Params
+	// SeqBoost is the sequencing readahead weight (see auditor.Config).
+	SeqBoost float64
+	// HeatDir, when set, persists per-file heatmaps across epochs.
+	HeatDir string
+	// Monitor configures the hardware monitor (daemon pool, queue).
+	Monitor monitor.Config
+	// Engine configures the placement engine (reactiveness, workers).
+	Engine placement.Config
+	// SharedTiers names tiers whose store is one cluster-wide instance
+	// (burst buffers): segments mapped there by any node are read
+	// locally instead of through the node-to-node communicator.
+	SharedTiers []string
+	// SweepInterval enables the statistics janitor: every interval,
+	// segment records of closed epochs whose score decayed below
+	// SweepFloor (default 0.01) and which are not resident anywhere are
+	// garbage-collected. Zero disables sweeping.
+	SweepInterval time.Duration
+	// SweepFloor is the score below which swept records are discarded.
+	SweepFloor float64
+	// Learner enables the ML scoring extension when non-nil (see
+	// score.Learned); one instance may be shared across the servers of a
+	// cluster so every node trains the same model.
+	Learner *score.Learned
+}
+
+// Server is one node's HFetch server.
+type Server struct {
+	cfg  Config
+	fs   *pfs.FS
+	hier *tiers.Hierarchy
+	segr *seg.Segmenter
+
+	registry *events.Registry
+	aud      *auditor.Auditor
+	mon      *monitor.Monitor
+	eng      *placement.Engine
+	ioc      *ioclient.Client
+
+	shared map[string]bool
+
+	peerMu sync.Mutex
+	dialer Dialer
+	peers  map[string]comm.Peer
+
+	remoteReads  atomic.Int64
+	remoteServes atomic.Int64
+
+	sweepStop chan struct{}
+	sweepWG   sync.WaitGroup
+	swept     atomic.Int64
+
+	started bool
+}
+
+// Dialer reaches peer nodes for remote tier reads.
+type Dialer interface {
+	Dial(node string) comm.Peer
+}
+
+// New builds a server over the shared PFS, this node's tier hierarchy,
+// and the cluster's stats/maps hashmaps (single-node callers can pass
+// fresh local dhm.Maps; see NewLocalMaps).
+func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*Server, error) {
+	if cfg.Node == "" {
+		cfg.Node = "node0"
+	}
+	segr := seg.NewSegmenter(cfg.SegmentSize)
+	audCfg := auditor.Config{
+		Node:      cfg.Node,
+		Segmenter: segr,
+		Score:     cfg.Score,
+		SeqBoost:  cfg.SeqBoost,
+		Learner:   cfg.Learner,
+	}
+	if cfg.HeatDir != "" {
+		hs, err := heatmap.NewStore(cfg.HeatDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: heatmap store: %w", err)
+		}
+		audCfg.Heatmaps = hs
+	}
+	aud := auditor.New(audCfg, stats, maps)
+	ioc := ioclient.New(fs, segr)
+	eng := placement.New(cfg.Engine, hier, ioc, aud)
+	aud.SetSink(eng)
+	mon := monitor.New(cfg.Monitor, aud, hier)
+	shared := make(map[string]bool, len(cfg.SharedTiers))
+	for _, n := range cfg.SharedTiers {
+		shared[n] = true
+	}
+	return &Server{
+		cfg:      cfg,
+		fs:       fs,
+		hier:     hier,
+		segr:     segr,
+		registry: events.NewRegistry(),
+		aud:      aud,
+		mon:      mon,
+		eng:      eng,
+		ioc:      ioc,
+		shared:   shared,
+		peers:    make(map[string]comm.Peer),
+	}, nil
+}
+
+// NewLocalMaps returns fresh single-node stats and mapping hashmaps for
+// standalone servers.
+func NewLocalMaps(node string) (stats, maps *dhm.Map) {
+	stats = dhm.New(dhm.Config{Name: "hfetch-stats", Self: node}, nil)
+	maps = dhm.New(dhm.Config{Name: "hfetch-maps", Self: node}, nil)
+	return stats, maps
+}
+
+// NewPersistentMaps returns single-node hashmaps backed by a write-ahead
+// log at walPath: segment statistics and mappings survive daemon
+// restarts and power-downs (the fault-tolerance property the paper's
+// distributed hashmap provides). Existing log contents are replayed
+// into the maps before they are returned. Note that mappings restored
+// this way are advisory: tier *payloads* are volatile, so stale
+// mappings simply miss and fall back to the PFS.
+func NewPersistentMaps(node, walPath string) (stats, maps *dhm.Map, wal *dhm.WAL, err error) {
+	state, rerr := dhm.Replay(walPath)
+	wal, err = dhm.OpenWAL(walPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stats = dhm.New(dhm.Config{Name: "hfetch-stats", Self: node, WAL: wal}, nil)
+	maps = dhm.New(dhm.Config{Name: "hfetch-maps", Self: node, WAL: wal}, nil)
+	if rerr == nil {
+		stats.Restore(state)
+		// Mappings are NOT restored: they point at volatile tier
+		// payloads that did not survive the restart.
+	}
+	return stats, maps, wal, nil
+}
+
+// Start launches the monitor daemons, the placement engine, and (when
+// configured) the statistics janitor.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.mon.Start()
+	s.eng.Start()
+	if s.cfg.SweepInterval > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepWG.Add(1)
+		go s.janitor()
+	}
+}
+
+func (s *Server) janitor() {
+	defer s.sweepWG.Done()
+	floor := s.cfg.SweepFloor
+	if floor <= 0 {
+		floor = 0.01
+	}
+	ticker := time.NewTicker(s.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-ticker.C:
+			s.swept.Add(int64(s.aud.Sweep(time.Now(), floor)))
+		}
+	}
+}
+
+// Swept returns the cumulative count of garbage-collected stat records.
+func (s *Server) Swept() int64 { return s.swept.Load() }
+
+// Stop flushes and terminates all components.
+func (s *Server) Stop() {
+	if !s.started {
+		return
+	}
+	s.started = false
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		s.sweepWG.Wait()
+		s.sweepStop = nil
+	}
+	s.mon.Stop()
+	s.eng.Stop()
+}
+
+// Flush synchronously drains the event queue's current backlog effects
+// and runs one placement pass. Intended for tests and benchmarks that
+// need determinism between phases.
+func (s *Server) Flush() {
+	deadline := time.Now().Add(5 * time.Second)
+	for s.mon.Queue().Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.eng.Flush()
+}
+
+// ---- agent manager API ----
+
+// StartEpoch begins a prefetching epoch for an opening reader; the first
+// opener installs the file watch.
+func (s *Server) StartEpoch(file string, size int64) {
+	if s.registry.AddWatch(file) {
+		s.aud.StartEpoch(file, size)
+		return
+	}
+	// Joiner: still reference-count the epoch.
+	s.aud.StartEpoch(file, size)
+}
+
+// EndEpoch ends one reader's epoch; the last closer removes the watch.
+// Closing an epoch is a barrier: queued events are drained first, so the
+// persisted heatmap reflects every access of the epoch.
+func (s *Server) EndEpoch(file string) {
+	last := s.registry.RemoveWatch(file)
+	if last {
+		deadline := time.Now().Add(2 * time.Second)
+		for s.mon.Queue().Len() > 0 && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		// Give in-flight daemon batches a beat to land.
+		time.Sleep(time.Millisecond)
+	}
+	s.aud.EndEpoch(file)
+}
+
+// Lookup resolves where a segment is prefetched: the owning node and
+// tier. ok is false when it must be read from the PFS.
+func (s *Server) Lookup(id seg.ID) (node, tier string, ok bool) {
+	return s.aud.Mapping(id)
+}
+
+// ReadFromTier reads from a resident segment in this node's named tier.
+// ok is false when the segment is not actually resident (stale mapping),
+// in which case the caller falls back to the PFS.
+func (s *Server) ReadFromTier(tier string, id seg.ID, off int64, p []byte) (int, bool) {
+	st, _ := s.hier.ByName(tier)
+	if st == nil {
+		return 0, false
+	}
+	n, _, err := st.ReadAt(id, off, p)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ReadPrefetched serves a read of segment id at intra-segment offset off
+// from wherever the hierarchy holds it: a local tier, a shared tier, or
+// a remote node's tier through the node-to-node communicator. ok is
+// false (and tier empty) when the caller must go to the PFS.
+func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier string, ok bool) {
+	node, tier, ok := s.aud.Mapping(id)
+	if !ok {
+		return 0, "", false
+	}
+	if node == "" || node == s.cfg.Node || s.shared[tier] {
+		n, ok = s.ReadFromTier(tier, id, off, p)
+		if !ok {
+			return 0, "", false
+		}
+		return n, tier, true
+	}
+	n, ok = s.readRemote(node, tier, id, off, p)
+	if !ok {
+		return 0, "", false
+	}
+	return n, tier, true
+}
+
+// ---- node-to-node data path ----
+
+const msgRemoteRead = "srv.read"
+
+type remoteReadReq struct {
+	Tier string
+	File string
+	Idx  int64
+	Off  int64
+	Len  int
+}
+
+type remoteReadResp struct {
+	OK   bool
+	Data []byte
+}
+
+// EnableRemote wires the server into the cluster fabric: mux receives
+// this node's remote-read handler, dialer reaches peers.
+func (s *Server) EnableRemote(mux *comm.Mux, dialer Dialer) {
+	s.peerMu.Lock()
+	s.dialer = dialer
+	s.peerMu.Unlock()
+	mux.Register(msgRemoteRead, func(raw []byte) ([]byte, error) {
+		var req remoteReadReq
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
+			return nil, err
+		}
+		s.remoteServes.Add(1)
+		buf := make([]byte, req.Len)
+		n, ok := s.ReadFromTier(req.Tier, seg.ID{File: req.File, Index: req.Idx}, req.Off, buf)
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(remoteReadResp{OK: ok, Data: buf[:n]}); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	})
+}
+
+func (s *Server) peer(node string) comm.Peer {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if s.dialer == nil {
+		return nil
+	}
+	if p, ok := s.peers[node]; ok {
+		return p
+	}
+	p := s.dialer.Dial(node)
+	s.peers[node] = p
+	return p
+}
+
+func (s *Server) readRemote(node, tier string, id seg.ID, off int64, p []byte) (int, bool) {
+	peer := s.peer(node)
+	if peer == nil {
+		return 0, false
+	}
+	s.remoteReads.Add(1)
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(remoteReadReq{ //nolint:errcheck // in-memory encode of a plain struct
+		Tier: tier, File: id.File, Idx: id.Index, Off: off, Len: len(p),
+	})
+	raw, err := peer.Request(msgRemoteRead, buf.Bytes())
+	if err != nil {
+		return 0, false
+	}
+	var resp remoteReadResp
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&resp); err != nil || !resp.OK {
+		return 0, false
+	}
+	return copy(p, resp.Data), true
+}
+
+// RemoteStats reports (requests issued to peers, requests served for
+// peers).
+func (s *Server) RemoteStats() (reads, serves int64) {
+	return s.remoteReads.Load(), s.remoteServes.Load()
+}
+
+// PostEvent accepts an enriched file-system event. Only events for
+// watched files (plus capacity events) enter the queue, mirroring
+// inotify semantics.
+func (s *Server) PostEvent(ev events.Event) {
+	if ev.Op != events.OpCapacity && !s.registry.Watched(ev.File) {
+		return
+	}
+	s.mon.Post(ev)
+}
+
+// ---- accessors ----
+
+// Node returns this server's cluster node name.
+func (s *Server) Node() string { return s.cfg.Node }
+
+// Segmenter returns the node's segment grain.
+func (s *Server) Segmenter() *seg.Segmenter { return s.segr }
+
+// FS returns the shared PFS.
+func (s *Server) FS() *pfs.FS { return s.fs }
+
+// Hierarchy returns this node's tier hierarchy.
+func (s *Server) Hierarchy() *tiers.Hierarchy { return s.hier }
+
+// Auditor returns the file segment auditor.
+func (s *Server) Auditor() *auditor.Auditor { return s.aud }
+
+// Engine returns the placement engine.
+func (s *Server) Engine() *placement.Engine { return s.eng }
+
+// Monitor returns the hardware monitor.
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// IOClient returns the data-prefetching I/O client.
+func (s *Server) IOClient() *ioclient.Client { return s.ioc }
+
+// Registry returns the watch registry.
+func (s *Server) Registry() *events.Registry { return s.registry }

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hfetch/internal/core/auditor"
+	"hfetch/internal/core/placement"
+	"hfetch/internal/core/score"
+	"hfetch/internal/core/seg"
+	"hfetch/internal/dhm"
+	"hfetch/internal/events"
+	"hfetch/internal/pfs"
+	"hfetch/internal/tiers"
+)
+
+func newServer(t *testing.T, cfg Config) (*Server, *pfs.FS) {
+	t.Helper()
+	fs := pfs.New(nil)
+	ram := tiers.NewStore("ram", 1<<20, nil)
+	nvme := tiers.NewStore("nvme", 1<<20, nil)
+	hier := tiers.NewHierarchy(ram, nvme)
+	stats, maps := NewLocalMaps("n0")
+	srv, err := New(cfg, fs, hier, stats, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, fs
+}
+
+func TestUnwatchedEventsIgnored(t *testing.T) {
+	srv, fs := newServer(t, Config{SegmentSize: 1024, Engine: placement.Config{UpdateThreshold: 1}})
+	fs.Create("f", 8192)
+	srv.Start()
+	defer srv.Stop()
+	// No epoch started: the event must not reach the auditor.
+	srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: 0, Length: 1024, Time: time.Now()})
+	srv.Flush()
+	if got := srv.Auditor().Counters().Reads; got != 0 {
+		t.Fatalf("unwatched event processed: reads=%d", got)
+	}
+	srv.StartEpoch("f", 8192)
+	srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: 0, Length: 1024, Time: time.Now()})
+	srv.Flush()
+	if got := srv.Auditor().Counters().Reads; got != 1 {
+		t.Fatalf("watched event not processed: reads=%d", got)
+	}
+}
+
+func TestEventsDrivePlacement(t *testing.T) {
+	srv, fs := newServer(t, Config{SegmentSize: 1024, Engine: placement.Config{UpdateThreshold: 1}})
+	fs.Create("f", 8192)
+	srv.Start()
+	defer srv.Stop()
+	srv.StartEpoch("f", 8192)
+	for i := int64(0); i < 8; i++ {
+		srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: i * 1024, Length: 1024, Time: time.Now()})
+	}
+	srv.Flush()
+	if got := srv.Hierarchy().Tier(0).Len(); got != 8 {
+		t.Fatalf("resident segments = %d, want 8 (server-push placement)", got)
+	}
+	id := seg.ID{File: "f", Index: 0}
+	node, tier, ok := srv.Lookup(id)
+	if !ok || tier != "ram" || node != "node0" {
+		t.Fatalf("Lookup = %q %q %v", node, tier, ok)
+	}
+	buf := make([]byte, 100)
+	n, ok := srv.ReadFromTier("ram", id, 0, buf)
+	if !ok || n != 100 {
+		t.Fatalf("ReadFromTier = %d %v", n, ok)
+	}
+	n, tier, ok = srv.ReadPrefetched(id, 0, buf)
+	if !ok || n != 100 || tier != "ram" {
+		t.Fatalf("ReadPrefetched = %d %q %v", n, tier, ok)
+	}
+}
+
+func TestReadFromUnknownTier(t *testing.T) {
+	srv, _ := newServer(t, Config{})
+	if _, ok := srv.ReadFromTier("zzz", seg.ID{File: "f"}, 0, make([]byte, 1)); ok {
+		t.Fatal("unknown tier must report !ok")
+	}
+}
+
+func TestHeatmapAcrossServerRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "heat")
+	mk := func() (*Server, *pfs.FS) {
+		return newServer(t, Config{
+			SegmentSize: 1024,
+			HeatDir:     dir,
+			Engine:      placement.Config{UpdateThreshold: 1},
+			SeqBoost:    0.5,
+		})
+	}
+	srv1, fs1 := mk()
+	fs1.Create("f", 8192)
+	srv1.Start()
+	srv1.StartEpoch("f", 8192)
+	for i := int64(0); i < 8; i++ {
+		srv1.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: i * 1024, Length: 1024, Time: time.Now()})
+	}
+	srv1.Flush()
+	srv1.EndEpoch("f") // persists the heatmap
+	srv1.Stop()
+
+	// A brand-new server (fresh maps) pre-places from the stored heatmap
+	// as soon as the epoch starts: server push before any read.
+	srv2, fs2 := mk()
+	fs2.Create("f", 8192)
+	srv2.Start()
+	defer srv2.Stop()
+	srv2.StartEpoch("f", 8192)
+	srv2.Flush()
+	if got := srv2.Hierarchy().TotalUsed(); got == 0 {
+		t.Fatal("heatmap-driven pre-placement did not happen")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	srv, _ := newServer(t, Config{})
+	srv.Start()
+	srv.Start()
+	srv.Stop()
+	srv.Stop()
+}
+
+func TestDefaults(t *testing.T) {
+	srv, _ := newServer(t, Config{})
+	if srv.Segmenter().Size() != seg.DefaultSize {
+		t.Fatalf("default segment size = %d", srv.Segmenter().Size())
+	}
+	if srv.FS() == nil || srv.Engine() == nil || srv.Monitor() == nil || srv.IOClient() == nil {
+		t.Fatal("accessors must be non-nil")
+	}
+}
+
+func TestJanitorSweepsStaleStats(t *testing.T) {
+	fs := pfs.New(nil)
+	hier := tiers.NewHierarchy(tiers.NewStore("ram", 1<<20, nil))
+	stats, maps := NewLocalMaps("n0")
+	srv, err := New(Config{
+		SegmentSize:   1024,
+		Score:         score.Params{P: 2, Unit: time.Millisecond},
+		Engine:        placement.Config{UpdateThreshold: 1 << 30, Interval: time.Hour},
+		SweepInterval: 10 * time.Millisecond,
+		SweepFloor:    0.01,
+	}, fs, hier, stats, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Create("f", 8192)
+	srv.Start()
+	defer srv.Stop()
+	srv.StartEpoch("f", 8192)
+	srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: 0, Length: 1024, Time: time.Now()})
+	// No engine flush: the segment must not get placed (a resident
+	// segment is exempt from sweeping).
+	srv.EndEpoch("f")
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Swept() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Swept() == 0 {
+		t.Fatal("janitor never swept the decayed record")
+	}
+}
+
+func TestPersistentMapsSurviveRestart(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "meta.wal")
+	stats, _, w, err := NewPersistentMaps("n0", wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := pfs.New(nil)
+	hier := tiers.NewHierarchy(tiers.NewStore("ram", 1<<20, nil))
+	maps2 := dhmNewForTest()
+	srv, err := New(Config{SegmentSize: 1024,
+		Score:  score.Params{P: 2, Unit: time.Minute},
+		Engine: placement.Config{UpdateThreshold: 1}}, fs, hier, stats, maps2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Create("f", 8192)
+	srv.Start()
+	srv.StartEpoch("f", 8192)
+	srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: 0, Length: 1024, Time: time.Now()})
+	srv.Flush()
+	srv.Stop()
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// "Power-down": a brand-new process replays the WAL and sees the
+	// accumulated segment statistics.
+	stats2, _, w2, err := NewPersistentMaps("n0", wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if stats2.LocalLen() == 0 {
+		t.Fatal("replayed stats map is empty")
+	}
+	v, ok, _ := stats2.Get("s|f|0")
+	if !ok {
+		t.Fatalf("segment record missing after replay; keys=%v", stats2.LocalKeys())
+	}
+	if rec := v.(*auditor.Rec); rec.Stats.K != 1 {
+		t.Fatalf("restored K = %d, want 1", rec.Stats.K)
+	}
+}
+
+// dhmNewForTest returns a fresh non-persistent map for tests that need
+// an independent mapping table.
+func dhmNewForTest() *dhm.Map {
+	return dhm.New(dhm.Config{Name: "test-maps", Self: "n0"}, nil)
+}

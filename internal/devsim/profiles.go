@@ -1,0 +1,20 @@
+package devsim
+
+import "time"
+
+// Reference profiles mirroring the Ares testbed of the paper, scaled so
+// experiments complete quickly. The absolute numbers are not meant to
+// match the hardware; the *ordering* and rough ratios between tiers are
+// what the reproduction relies on: RAM >> NVMe >> burst buffer >> PFS.
+var (
+	// RAMProfile models a local DRAM prefetching allocation.
+	RAMProfile = Profile{Name: "ram", Latency: 200 * time.Nanosecond, BytesPerSec: 8e9, Channels: 8}
+	// NVMeProfile models a node-local NVMe SSD.
+	NVMeProfile = Profile{Name: "nvme", Latency: 30 * time.Microsecond, BytesPerSec: 2e9, Channels: 4}
+	// BurstBufferProfile models a shared remote burst-buffer allocation
+	// reached over the fabric (SSD + network hop).
+	BurstBufferProfile = Profile{Name: "bb", Latency: 250 * time.Microsecond, BytesPerSec: 1e9, Channels: 4}
+	// PFSProfile models a remote parallel file system; Channels stands in
+	// for the storage servers sharing the load.
+	PFSProfile = Profile{Name: "pfs", Latency: 3 * time.Millisecond, BytesPerSec: 400e6, Channels: 6}
+)

@@ -1,0 +1,37 @@
+package dhm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReplay feeds arbitrary bytes to the WAL replayer: it must never
+// panic and must tolerate any corruption or truncation.
+func FuzzReplay(f *testing.F) {
+	// Seed with a valid log followed by garbage.
+	dir, _ := os.MkdirTemp("", "fuzzwal")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "seed.log")
+	w, _ := OpenWAL(path)
+	m := New(Config{Name: "s", Self: "n0", WAL: w}, nil)
+	m.Put("a", int64(1))
+	w.Close()
+	valid, _ := os.ReadFile(path)
+	f.Add(valid)
+	f.Add(append(valid, 0xde, 0xad, 0xbe, 0xef))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		state, err := Replay(p)
+		if err != nil {
+			t.Fatalf("Replay must tolerate corruption, got %v", err)
+		}
+		_ = state
+	})
+}

@@ -1,0 +1,54 @@
+package dhm
+
+import (
+	"fmt"
+)
+
+// Rebalance adapts the map to a new membership list: keys whose
+// rendezvous owner moved are pushed to their new owner, then dropped
+// locally. It returns how many keys were migrated away. Thanks to
+// rendezvous hashing only keys owned by departed nodes (or claimed by
+// joined ones) move; everything else stays put.
+//
+// Rebalance is cooperative: every surviving node must call it with the
+// same new membership. Concurrent writes during a rebalance follow the
+// new ownership (callers should swap membership first, then migrate),
+// so a key written mid-migration lands at its new owner either way and
+// the stale local copy is discarded.
+func (m *Map) Rebalance(newNodes []string) (migrated int, err error) {
+	m.memberMu.Lock()
+	m.cfg.Nodes = append([]string(nil), newNodes...)
+	m.memberMu.Unlock()
+
+	// Collect local keys that no longer belong here.
+	type kv struct {
+		key string
+		val any
+	}
+	var moving []kv
+	m.Range(func(key string, val any) bool {
+		if !m.local(key) {
+			moving = append(moving, kv{key, val})
+		}
+		return true
+	})
+	var firstErr error
+	for _, e := range moving {
+		if err := m.Put(e.key, e.val); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dhm: rebalance %q: %w", e.key, err)
+			}
+			continue // keep the local copy rather than lose the key
+		}
+		m.localDelete(e.key, true)
+		migrated++
+	}
+	return migrated, firstErr
+}
+
+// Members returns the current membership list (empty = single node).
+func (m *Map) Members() []string {
+	m.memberMu.RLock()
+	defer m.memberMu.RUnlock()
+	return append([]string(nil), m.cfg.Nodes...)
+}

@@ -1,0 +1,149 @@
+package dhm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL is a write-ahead log giving a Map fault tolerance across
+// power-downs: every local mutation is appended as a length-framed gob
+// record; Replay reconstructs the last state of each key.
+//
+// One WAL can serve several named maps (records carry the map name).
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+type walRecord struct {
+	Map    string
+	Key    string
+	Delete bool
+	Val    []byte
+}
+
+// OpenWAL opens (or creates) the log at path, appending to any existing
+// records.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dhm: open wal: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Path returns the log file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+func (w *WAL) append(rec walRecord) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return // values that cannot gob-encode are simply not durable
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return
+	}
+	w.f.Write(hdr[:])       //nolint:errcheck // best-effort durability
+	w.f.Write(body.Bytes()) //nolint:errcheck
+}
+
+func (w *WAL) logPut(mapName, key string, val any) {
+	vb, err := encodeVal(val)
+	if err != nil {
+		return
+	}
+	w.append(walRecord{Map: mapName, Key: key, Val: vb})
+}
+
+func (w *WAL) logDelete(mapName, key string) {
+	w.append(walRecord{Map: mapName, Key: key, Delete: true})
+}
+
+// Sync fsyncs the log.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Replay reads the log at path and returns the surviving state per map
+// name: map[mapName]map[key]value. A truncated trailing record (torn
+// write at power-down) is tolerated and ignored.
+func Replay(path string) (map[string]map[string]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dhm: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	out := make(map[string]map[string]any)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			break // EOF or torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		// A corrupt header can claim a multi-gigabyte record; no
+		// legitimate record approaches this bound, so treat it as
+		// corruption instead of attempting the allocation.
+		const maxRecord = 64 << 20
+		if n > maxRecord {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(f, body); err != nil {
+			break // torn body
+		}
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+			break // corrupt record terminates replay
+		}
+		mp := out[rec.Map]
+		if mp == nil {
+			mp = make(map[string]any)
+			out[rec.Map] = mp
+		}
+		if rec.Delete {
+			delete(mp, rec.Key)
+			continue
+		}
+		v, err := decodeVal(rec.Val)
+		if err != nil {
+			continue
+		}
+		mp[rec.Key] = v
+	}
+	return out, nil
+}
+
+// Restore loads replayed state for this map's name into the local shards
+// (without re-logging).
+func (m *Map) Restore(state map[string]map[string]any) {
+	for k, v := range state[m.cfg.Name] {
+		m.localPut(k, v, false)
+	}
+}

@@ -1,0 +1,131 @@
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is the in-memory event queue hosted by the HFetch server's
+// hardware monitor. Each tier (and the client I/O layer) pushes events
+// into it; a pool of daemon threads consumes it.
+//
+// The queue is a bounded MPMC ring guarded by a mutex with condition
+// variables. When full, the posting policy decides between blocking the
+// producer (default, provides backpressure like a saturated kernel queue)
+// and dropping the event (counted, mirroring inotify's IN_Q_OVERFLOW).
+type Queue struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+	notEmpt *sync.Cond
+	buf     []Event
+	head    int
+	n       int
+	closed  bool
+	drop    bool
+
+	posted  atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewQueue creates a queue with the given capacity (minimum 1). If drop
+// is true, Post discards events when the queue is full instead of
+// blocking.
+func NewQueue(capacity int, drop bool) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{buf: make([]Event, capacity), drop: drop}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpt = sync.NewCond(&q.mu)
+	return q
+}
+
+// Post enqueues an event. It reports false when the event was dropped
+// (drop policy and queue full) or the queue is closed.
+func (q *Queue) Post(ev Event) bool {
+	q.mu.Lock()
+	for q.n == len(q.buf) && !q.closed && !q.drop {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.n == len(q.buf) { // drop policy
+		q.mu.Unlock()
+		q.dropped.Add(1)
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	q.n++
+	q.notEmpt.Signal()
+	q.mu.Unlock()
+	q.posted.Add(1)
+	return true
+}
+
+// Take dequeues one event, blocking until one is available or the queue
+// is closed and drained. ok is false only on close-and-drained.
+func (q *Queue) Take() (ev Event, ok bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpt.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return Event{}, false
+	}
+	ev = q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.notFull.Signal()
+	q.mu.Unlock()
+	return ev, true
+}
+
+// TakeBatch dequeues up to max events in one lock acquisition, blocking
+// until at least one is available or the queue is closed and drained.
+func (q *Queue) TakeBatch(dst []Event) (n int, ok bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpt.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	for n < len(dst) && q.n > 0 {
+		dst[n] = q.buf[q.head]
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		n++
+	}
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+	return n, true
+}
+
+// Close marks the queue closed. Pending events can still be drained;
+// blocked producers and consumers are released.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpt.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Stats returns the cumulative posted and dropped counts.
+func (q *Queue) Stats() (posted, dropped int64) {
+	return q.posted.Load(), q.dropped.Load()
+}

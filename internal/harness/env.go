@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hfetch/internal/baselines"
+	"hfetch/internal/core/placement"
+	"hfetch/internal/core/score"
+	"hfetch/internal/core/server"
+	"hfetch/internal/devsim"
+	"hfetch/internal/pfs"
+	"hfetch/internal/tiers"
+)
+
+// Env is one experiment's emulated machine: an origin file system (the
+// PFS — or the burst buffers, for workflows whose data is staged there)
+// plus factories for the systems under test, all sharing the same device
+// time scale.
+type Env struct {
+	FS    *pfs.FS
+	Scale float64
+}
+
+// OriginKind selects where the workload's data initially resides.
+type OriginKind int
+
+// Origin kinds.
+const (
+	// OriginPFS is the remote parallel file system.
+	OriginPFS OriginKind = iota
+	// OriginBB models data staged into the burst buffers (Figure 6).
+	OriginBB
+)
+
+// NewEnv creates an environment. scale multiplies every modeled device
+// time (smaller = faster experiments, identical shapes).
+func NewEnv(origin OriginKind, scale float64) *Env {
+	prof := devsim.PFSProfile
+	if origin == OriginBB {
+		prof = devsim.BurstBufferProfile
+		prof.Name = "bb-origin"
+		prof.Channels = 8
+	}
+	return &Env{FS: pfs.New(devsim.New(prof, scale)), Scale: scale}
+}
+
+// CreateFiles registers the workload's files.
+func (e *Env) CreateFiles(files map[string]int64) error {
+	for name, size := range files {
+		if err := e.FS.Create(name, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TierDef sizes one HFetch tier.
+type TierDef struct {
+	Name     string
+	Capacity int64
+}
+
+// HFetchOpts tunes the HFetch instance an experiment builds.
+type HFetchOpts struct {
+	SegmentSize     int64
+	Tiers           []TierDef
+	UpdateThreshold int
+	Interval        time.Duration
+	Daemons         int
+	EngineWorkers   int
+	SeqBoost        float64
+	HeatDir         string
+	DecayUnit       time.Duration
+}
+
+// NewHFetch builds and starts a single-node HFetch system over the
+// environment's origin.
+func (e *Env) NewHFetch(opts HFetchOpts) (*baselines.HFetch, error) {
+	if len(opts.Tiers) == 0 {
+		return nil, fmt.Errorf("harness: HFetch needs at least one tier")
+	}
+	var stores []*tiers.Store
+	for _, td := range opts.Tiers {
+		prof, ok := tierProfiles[td.Name]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown tier %q", td.Name)
+		}
+		stores = append(stores, tiers.NewStore(td.Name, td.Capacity, devsim.New(prof, e.Scale)))
+	}
+	hier := tiers.NewHierarchy(stores...)
+	stats, maps := server.NewLocalMaps("node0")
+	decay := opts.DecayUnit
+	if decay <= 0 {
+		decay = 250 * time.Millisecond
+	}
+	cfg := server.Config{
+		Node:        "node0",
+		SegmentSize: opts.SegmentSize,
+		Score:       score.Params{P: 2, Unit: decay},
+		SeqBoost:    opts.SeqBoost,
+		HeatDir:     opts.HeatDir,
+	}
+	cfg.Monitor.Daemons = opts.Daemons
+	cfg.Engine = placement.Config{
+		UpdateThreshold: opts.UpdateThreshold,
+		Interval:        opts.Interval,
+		Workers:         opts.EngineWorkers,
+	}
+	srv, err := server.New(cfg, e.FS, hier, stats, maps)
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	return baselines.NewHFetch(srv, true), nil
+}
+
+var tierProfiles = map[string]devsim.Profile{
+	"ram":  devsim.RAMProfile,
+	"nvme": devsim.NVMeProfile,
+	"bb":   devsim.BurstBufferProfile,
+}
+
+// RAMDevice returns a RAM-cache device model for the comparators.
+func (e *Env) RAMDevice() *devsim.Device {
+	return devsim.New(devsim.RAMProfile, e.Scale)
+}
+
+// Row is one output line of an experiment table, mirroring a bar or
+// point in the paper's figure.
+type Row struct {
+	Figure string
+	// Config identifies the x-axis position (workload, pattern, scale).
+	Config string
+	// System is the solution measured.
+	System string
+	// Seconds is the end-to-end time; Variance its across-repeat spread.
+	Seconds  float64
+	Variance float64
+	// HitRatio is hits/(hits+misses) where applicable.
+	HitRatio float64
+	// Extra holds figure-specific values (events/sec, profile cost...).
+	Extra map[string]float64
+}
+
+// String renders the row for the CLI.
+func (r Row) String() string {
+	s := fmt.Sprintf("%-8s %-22s %-14s %8.3fs", r.Figure, r.Config, r.System, r.Seconds)
+	if r.HitRatio > 0 {
+		s += fmt.Sprintf("  hit=%5.1f%%", r.HitRatio*100)
+	}
+	for k, v := range r.Extra {
+		s += fmt.Sprintf("  %s=%.1f", k, v)
+	}
+	return s
+}
+
+// Opts controls experiment sizing.
+type Opts struct {
+	// Repeats is the number of measured runs per point (paper: 5).
+	Repeats int
+	// Quick shrinks scales for CI/bench runs.
+	Quick bool
+}
+
+func (o Opts) normalized() Opts {
+	if o.Repeats <= 0 {
+		if o.Quick {
+			o.Repeats = 1
+		} else {
+			o.Repeats = 3
+		}
+	}
+	return o
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"hfetch/internal/baselines"
+	"hfetch/internal/workloads"
+)
+
+func TestRunnerExecutesScripts(t *testing.T) {
+	env := NewEnv(OriginPFS, 0.05)
+	env.FS.Create("f", 1<<20)
+	sys := baselines.NewNone(env.FS)
+	defer sys.Stop()
+	apps := []workloads.App{{
+		Name: "a",
+		Procs: []workloads.Script{
+			workloads.TimeStepped("f", 1<<20, 64<<10, 2, 0),
+			workloads.TimeStepped("f", 1<<20, 64<<10, 2, 0),
+		},
+	}}
+	res, err := Run(sys, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 2*2*16 {
+		t.Fatalf("misses = %d, want 64", res.Misses)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+}
+
+func TestRunnerOpenFailure(t *testing.T) {
+	env := NewEnv(OriginPFS, 0.01)
+	sys := baselines.NewNone(env.FS)
+	defer sys.Stop()
+	apps := []workloads.App{{Name: "a", Procs: []workloads.Script{
+		{{File: "ghost", Off: 0, Len: 10}},
+	}}}
+	if _, err := Run(sys, apps); err == nil {
+		t.Fatal("missing file must propagate an error")
+	}
+}
+
+func TestRunPhasesSequential(t *testing.T) {
+	env := NewEnv(OriginPFS, 0.01)
+	env.FS.Create("f", 1<<20)
+	sys := baselines.NewNone(env.FS)
+	defer sys.Stop()
+	phase := []workloads.App{{Name: "p", Procs: []workloads.Script{
+		workloads.TimeStepped("f", 1<<20, 64<<10, 1, 0),
+	}}}
+	res, err := RunPhases(sys, [][]workloads.App{phase, phase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 32 {
+		t.Fatalf("misses = %d, want 32", res.Misses)
+	}
+}
+
+func TestRepeatAveragesAndVariance(t *testing.T) {
+	n := 0
+	mean, series, err := Repeat(3, func() (RunResult, error) {
+		n++
+		return RunResult{Elapsed: time.Duration(n) * time.Second, HitRatio: 0.5}, nil
+	})
+	if err != nil || series.N() != 3 {
+		t.Fatalf("repeat: %v, n=%d", err, series.N())
+	}
+	if mean.Elapsed != 2*time.Second {
+		t.Fatalf("mean = %v, want 2s", mean.Elapsed)
+	}
+	if series.Variance() <= 0 {
+		t.Fatal("variance must be positive for distinct runs")
+	}
+	if mean.HitRatio != 0.5 {
+		t.Fatalf("hit ratio mean = %v", mean.HitRatio)
+	}
+}
+
+func TestHFetchEnvBuilderRejectsBadTiers(t *testing.T) {
+	env := NewEnv(OriginPFS, 1)
+	if _, err := env.NewHFetch(HFetchOpts{}); err == nil {
+		t.Fatal("no tiers must be rejected")
+	}
+	if _, err := env.NewHFetch(HFetchOpts{Tiers: []TierDef{{Name: "zzz", Capacity: 1}}}); err == nil {
+		t.Fatal("unknown tier must be rejected")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Figure: "figX", Config: "c", System: "s", Seconds: 1.5, HitRatio: 0.5,
+		Extra: map[string]float64{"k": 2}}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty row string")
+	}
+}
+
+// Shape smoke test: on a shared-file workload, HFetch must beat the
+// no-prefetching baseline and produce hits.
+func TestHFetchBeatsNoneOnSharedReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	run := func(mk func(env *Env) (baselines.System, error)) RunResult {
+		env := NewEnv(OriginPFS, 1)
+		env.FS.Create("f", 1<<20)
+		apps := []workloads.App{{Name: "a"}}
+		for p := 0; p < 8; p++ {
+			apps[0].Procs = append(apps[0].Procs,
+				workloads.TimeStepped("f", 1<<20, 64<<10, 4, 10*time.Millisecond))
+		}
+		sys, err := mk(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Stop()
+		res, err := Run(sys, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hf := run(func(env *Env) (baselines.System, error) {
+		return env.NewHFetch(HFetchOpts{
+			SegmentSize:     64 << 10,
+			Tiers:           []TierDef{{Name: "ram", Capacity: 2 << 20}},
+			UpdateThreshold: 1, SeqBoost: 0.5, DecayUnit: time.Second,
+		})
+	})
+	none := run(func(env *Env) (baselines.System, error) { return baselines.NewNone(env.FS), nil })
+	if hf.HitRatio < 0.5 {
+		t.Fatalf("hfetch hit ratio = %.2f, want > 0.5 on re-read workload", hf.HitRatio)
+	}
+	if hf.Elapsed >= none.Elapsed {
+		t.Fatalf("hfetch (%v) must beat none (%v) on shared re-reads", hf.Elapsed, none.Elapsed)
+	}
+}
+
+func TestAblationPlacementShape(t *testing.T) {
+	rows, err := AblationPlacement(Opts{Quick: true, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.System] = r.Extra["hot_decile_in_ram_pct"]
+	}
+	if byName["score(alg1)"] <= byName["random"] || byName["score(alg1)"] <= byName["roundrobin"] {
+		t.Fatalf("Algorithm 1 must dominate: %v", byName)
+	}
+	if byName["score(alg1)"] < 90 {
+		t.Fatalf("Algorithm 1 hot-decile placement = %.1f%%, want ~100%%", byName["score(alg1)"])
+	}
+}
+
+func TestAblationScoringShape(t *testing.T) {
+	rows, err := AblationScoring(Opts{Quick: true})
+	if err != nil || len(rows) != 3 {
+		t.Fatal(err)
+	}
+	// Higher p decays faster: retention must be non-increasing.
+	prev := rows[0].Extra["retention_units"]
+	for _, r := range rows[1:] {
+		cur := r.Extra["retention_units"]
+		if cur > prev {
+			t.Fatalf("retention must fall with p: %v", rows)
+		}
+		prev = cur
+	}
+}
+
+func TestAblationSegmentationShape(t *testing.T) {
+	rows, err := AblationSegmentation(Opts{Quick: true})
+	if err != nil || len(rows) != 2 {
+		t.Fatal(err)
+	}
+	fixed, adaptive := rows[0], rows[1]
+	if adaptive.Extra["overfetch_mib"] >= fixed.Extra["overfetch_mib"] {
+		t.Fatalf("adaptive must over-fetch less: %v vs %v", adaptive.Extra, fixed.Extra)
+	}
+	if adaptive.Extra["segments"] <= fixed.Extra["segments"] {
+		t.Fatalf("adaptive pays with more segments: %v vs %v", adaptive.Extra, fixed.Extra)
+	}
+}
+
+func TestExtMultiNodeRemoteTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	rows, err := ExtMultiNode(Opts{Quick: true, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Extra["remote_reads"] != 0 {
+		t.Fatal("single node must have no remote reads")
+	}
+	if rows[2].Extra["remote_reads"] == 0 {
+		t.Fatal("4 nodes must produce remote tier reads")
+	}
+}
+
+func TestAblationCachePolicyShape(t *testing.T) {
+	rows, err := AblationCachePolicy(Opts{Quick: true, Repeats: 1})
+	if err != nil || len(rows) != 2 {
+		t.Fatal(err)
+	}
+	lru, lrfu := rows[0].Extra["hot_resident_pct"], rows[1].Extra["hot_resident_pct"]
+	if lrfu <= lru {
+		t.Fatalf("LRFU must protect the hot set from scan floods: lru=%.1f lrfu=%.1f", lru, lrfu)
+	}
+	if lrfu < 50 {
+		t.Fatalf("LRFU hot residency = %.1f%%, want most of the hot set", lrfu)
+	}
+}

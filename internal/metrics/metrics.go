@@ -1,0 +1,154 @@
+// Package metrics collects the measurements the evaluation reports:
+// per-tier hit counts, miss counts, moved bytes, and wall-clock timings.
+// All counters are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IOStats aggregates client-side read statistics.
+type IOStats struct {
+	mu       sync.Mutex
+	tierHits map[string]int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	bytesHit  atomic.Int64
+	bytesMiss atomic.Int64
+	readNanos atomic.Int64
+	reads     atomic.Int64
+}
+
+// NewIOStats returns zeroed statistics.
+func NewIOStats() *IOStats {
+	return &IOStats{tierHits: make(map[string]int64)}
+}
+
+// Hit records nbytes served from tier.
+func (s *IOStats) Hit(tier string, nbytes int64) {
+	s.hits.Add(1)
+	s.bytesHit.Add(nbytes)
+	s.mu.Lock()
+	s.tierHits[tier]++
+	s.mu.Unlock()
+}
+
+// Miss records nbytes served from the PFS.
+func (s *IOStats) Miss(nbytes int64) {
+	s.misses.Add(1)
+	s.bytesMiss.Add(nbytes)
+}
+
+// ObserveRead records one read call's latency.
+func (s *IOStats) ObserveRead(d time.Duration) {
+	s.reads.Add(1)
+	s.readNanos.Add(int64(d))
+}
+
+// Hits returns the total segment-hit count.
+func (s *IOStats) Hits() int64 { return s.hits.Load() }
+
+// Misses returns the total segment-miss count.
+func (s *IOStats) Misses() int64 { return s.misses.Load() }
+
+// Reads returns the number of read calls observed.
+func (s *IOStats) Reads() int64 { return s.reads.Load() }
+
+// HitRatio returns hits/(hits+misses), or 0 when nothing was read.
+func (s *IOStats) HitRatio() float64 {
+	h, m := s.hits.Load(), s.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// TotalReadTime returns the summed read latency across all calls.
+func (s *IOStats) TotalReadTime() time.Duration {
+	return time.Duration(s.readNanos.Load())
+}
+
+// TierHits returns a copy of the per-tier hit counts.
+func (s *IOStats) TierHits() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.tierHits))
+	for k, v := range s.tierHits {
+		out[k] = v
+	}
+	return out
+}
+
+// Bytes returns (hitBytes, missBytes).
+func (s *IOStats) Bytes() (int64, int64) {
+	return s.bytesHit.Load(), s.bytesMiss.Load()
+}
+
+// String renders a one-line summary.
+func (s *IOStats) String() string {
+	tiers := s.TierHits()
+	names := make([]string, 0, len(tiers))
+	for n := range tiers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	per := ""
+	for _, n := range names {
+		per += fmt.Sprintf(" %s=%d", n, tiers[n])
+	}
+	return fmt.Sprintf("hits=%d misses=%d ratio=%.1f%%%s",
+		s.Hits(), s.Misses(), s.HitRatio()*100, per)
+}
+
+// Timer measures wall-clock intervals with repeat support.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() *Timer { return &Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t *Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Series accumulates repeated measurements and reports mean/variance,
+// matching the paper's "average along with the variance over five runs".
+type Series struct {
+	vals []float64
+}
+
+// Add appends one measurement.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the number of measurements.
+func (s *Series) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range s.vals {
+		t += v
+	}
+	return t / float64(len(s.vals))
+}
+
+// Variance returns the population variance (0 when fewer than 2 values).
+func (s *Series) Variance() float64 {
+	if len(s.vals) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var t float64
+	for _, v := range s.vals {
+		t += (v - m) * (v - m)
+	}
+	return t / float64(len(s.vals))
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitMissAccounting(t *testing.T) {
+	s := NewIOStats()
+	s.Hit("ram", 100)
+	s.Hit("nvme", 200)
+	s.Hit("ram", 50)
+	s.Miss(1000)
+	if s.Hits() != 3 || s.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", s.Hits(), s.Misses())
+	}
+	if got := s.HitRatio(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ratio = %v, want 0.75", got)
+	}
+	th := s.TierHits()
+	if th["ram"] != 2 || th["nvme"] != 1 {
+		t.Fatalf("tier hits = %v", th)
+	}
+	hb, mb := s.Bytes()
+	if hb != 350 || mb != 1000 {
+		t.Fatalf("bytes = %d/%d", hb, mb)
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	s := NewIOStats()
+	if s.HitRatio() != 0 {
+		t.Fatal("empty ratio must be 0")
+	}
+}
+
+func TestObserveReadAndString(t *testing.T) {
+	s := NewIOStats()
+	s.ObserveRead(10 * time.Millisecond)
+	s.ObserveRead(20 * time.Millisecond)
+	if s.Reads() != 2 || s.TotalReadTime() != 30*time.Millisecond {
+		t.Fatalf("reads=%d total=%v", s.Reads(), s.TotalReadTime())
+	}
+	s.Hit("ram", 1)
+	str := s.String()
+	if !strings.Contains(str, "ram=1") || !strings.Contains(str, "hits=1") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func TestTierHitsReturnsCopy(t *testing.T) {
+	s := NewIOStats()
+	s.Hit("ram", 1)
+	th := s.TierHits()
+	th["ram"] = 999
+	if s.TierHits()["ram"] != 1 {
+		t.Fatal("TierHits must return a copy")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	s := NewIOStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Hit("ram", 1)
+				s.Miss(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Hits() != 8000 || s.Misses() != 8000 {
+		t.Fatalf("concurrent counts = %d/%d", s.Hits(), s.Misses())
+	}
+	if s.TierHits()["ram"] != 8000 {
+		t.Fatalf("tier hits = %v", s.TierHits())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	time.Sleep(5 * time.Millisecond)
+	if tm.Elapsed() < 4*time.Millisecond {
+		t.Fatalf("Elapsed = %v", tm.Elapsed())
+	}
+}
+
+func TestSeriesStatistics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty series must be zeros")
+	}
+	s.Add(2)
+	if s.Variance() != 0 {
+		t.Fatal("single-value variance must be 0")
+	}
+	s.Add(4)
+	s.Add(6)
+	if s.N() != 3 || math.Abs(s.Mean()-4) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Population variance of {2,4,6} = 8/3.
+	if math.Abs(s.Variance()-8.0/3.0) > 1e-12 {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+}

@@ -1,0 +1,205 @@
+package pfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hfetch/internal/devsim"
+)
+
+func TestCreateStatRemove(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Create("a", 1000); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("a")
+	if err != nil || fi.Size != 1000 || fi.Version != 0 {
+		t.Fatalf("Stat = %+v %v", fi, err)
+	}
+	fs.Remove("a")
+	if _, err := fs.Stat("a"); err == nil {
+		t.Fatal("Stat after Remove must fail")
+	}
+}
+
+func TestCreateNegativeSize(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Create("a", -1); err == nil {
+		t.Fatal("negative size must error")
+	}
+}
+
+func TestReadDeterministic(t *testing.T) {
+	fs := New(nil)
+	fs.Create("a", 4096)
+	b1 := make([]byte, 512)
+	b2 := make([]byte, 512)
+	if _, _, err := fs.ReadAt("a", 100, b1); err != nil {
+		t.Fatal(err)
+	}
+	fs.ReadAt("a", 100, b2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-reads of same region must be identical")
+	}
+}
+
+func TestReadOffsetIndependence(t *testing.T) {
+	// Reading [0,200) then slicing [100,200) must equal reading at 100.
+	fs := New(nil)
+	fs.Create("a", 4096)
+	whole := make([]byte, 200)
+	part := make([]byte, 100)
+	fs.ReadAt("a", 0, whole)
+	fs.ReadAt("a", 100, part)
+	if !bytes.Equal(whole[100:], part) {
+		t.Fatal("content must be a pure function of absolute offset")
+	}
+}
+
+func TestDifferentFilesDiffer(t *testing.T) {
+	fs := New(nil)
+	fs.Create("a", 1024)
+	fs.Create("b", 1024)
+	ba := make([]byte, 256)
+	bb := make([]byte, 256)
+	fs.ReadAt("a", 0, ba)
+	fs.ReadAt("b", 0, bb)
+	if bytes.Equal(ba, bb) {
+		t.Fatal("different files should have different contents")
+	}
+}
+
+func TestShortReadAtEOF(t *testing.T) {
+	fs := New(nil)
+	fs.Create("a", 100)
+	p := make([]byte, 64)
+	n, _, err := fs.ReadAt("a", 80, p)
+	if err != nil || n != 20 {
+		t.Fatalf("ReadAt near EOF = %d %v, want 20", n, err)
+	}
+	n, _, _ = fs.ReadAt("a", 200, p)
+	if n != 0 {
+		t.Fatalf("ReadAt past EOF = %d, want 0", n)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	fs := New(nil)
+	if _, _, err := fs.ReadAt("nope", 0, make([]byte, 1)); err == nil {
+		t.Fatal("read of missing file must error")
+	}
+	fs.Create("a", 10)
+	if _, _, err := fs.ReadAt("a", -1, make([]byte, 1)); err == nil {
+		t.Fatal("negative offset must error")
+	}
+}
+
+func TestWriteBumpsVersionAndChangesContent(t *testing.T) {
+	fs := New(nil)
+	fs.Create("a", 1024)
+	before := make([]byte, 128)
+	after := make([]byte, 128)
+	fs.ReadAt("a", 0, before)
+	if _, err := fs.Write("a", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := fs.Stat("a")
+	if fi.Version != 1 {
+		t.Fatalf("version = %d, want 1", fi.Version)
+	}
+	fs.ReadAt("a", 0, after)
+	if bytes.Equal(before, after) {
+		t.Fatal("content must change after a write (version mix)")
+	}
+}
+
+func TestWriteExtendsFile(t *testing.T) {
+	fs := New(nil)
+	fs.Create("a", 100)
+	fs.Write("a", 150, 50)
+	fi, _ := fs.Stat("a")
+	if fi.Size != 200 {
+		t.Fatalf("size after extending write = %d, want 200", fi.Size)
+	}
+}
+
+func TestWriteMissingFile(t *testing.T) {
+	fs := New(nil)
+	if _, err := fs.Write("nope", 0, 1); err == nil {
+		t.Fatal("write of missing file must error")
+	}
+}
+
+func TestExpectedAtMatchesRead(t *testing.T) {
+	fs := New(nil)
+	fs.Create("a", 512)
+	p := make([]byte, 512)
+	fs.ReadAt("a", 0, p)
+	for _, off := range []int64{0, 1, 7, 8, 63, 511} {
+		want, err := fs.ExpectedAt("a", off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[off] != want {
+			t.Fatalf("ExpectedAt(%d) = %d, read %d", off, want, p[off])
+		}
+	}
+}
+
+func TestListNames(t *testing.T) {
+	fs := New(nil)
+	fs.Create("x", 1)
+	fs.Create("y", 1)
+	names := fs.List()
+	if len(names) != 2 {
+		t.Fatalf("List = %v, want 2 names", names)
+	}
+}
+
+func TestDeviceCharged(t *testing.T) {
+	dev := devsim.New(devsim.Profile{Name: "pfs", Latency: 5 * time.Millisecond}, 1)
+	fs := New(dev)
+	fs.Create("a", 1024)
+	start := time.Now()
+	_, cost, err := fs.ReadAt("a", 0, make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < 5*time.Millisecond {
+		t.Fatalf("cost = %v, want >= 5ms", cost)
+	}
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("read returned after %v, device not charged", el)
+	}
+	ops, _, _ := dev.Stats()
+	if ops != 1 {
+		t.Fatalf("device ops = %d, want 1", ops)
+	}
+}
+
+// Property: any read equals the byte-by-byte ExpectedAt oracle.
+func TestReadMatchesOracle(t *testing.T) {
+	fs := New(nil)
+	fs.Create("f", 2048)
+	f := func(offRaw, lnRaw uint16) bool {
+		off := int64(offRaw % 2048)
+		ln := int(lnRaw%128) + 1
+		p := make([]byte, ln)
+		n, _, err := fs.ReadAt("f", off, p)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want, _ := fs.ExpectedAt("f", off+int64(i))
+			if p[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

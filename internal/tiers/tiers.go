@@ -1,0 +1,307 @@
+// Package tiers implements the prefetching cache stores that make up the
+// deep memory and storage hierarchy (DMSH): a RAM allocation, a
+// node-local NVMe partition, and a shared burst-buffer lease. Each Store
+// is a capacity-tracked, exclusive segment cache charged against a
+// devsim.Device; a Hierarchy orders stores fast→slow and is what the
+// hierarchical data placement engine walks.
+package tiers
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hfetch/internal/core/seg"
+	"hfetch/internal/devsim"
+)
+
+// ErrNoSpace is returned by Put when a segment does not fit in the
+// store's remaining capacity.
+var ErrNoSpace = errors.New("tiers: insufficient capacity")
+
+// ErrNotFound is returned when a requested segment is not resident.
+var ErrNotFound = errors.New("tiers: segment not resident")
+
+// Store is one tier's prefetching cache. Safe for concurrent use.
+type Store struct {
+	name     string
+	dev      *devsim.Device
+	capacity int64
+
+	mu   sync.RWMutex
+	data map[seg.ID][]byte
+	used int64
+
+	hits   int64
+	misses int64
+}
+
+// NewStore creates a store named name with the given byte capacity whose
+// accesses are charged to dev (nil dev = free accesses).
+func NewStore(name string, capacity int64, dev *devsim.Device) *Store {
+	return &Store{name: name, dev: dev, capacity: capacity, data: make(map[seg.ID][]byte)}
+}
+
+// Name returns the tier name (e.g. "ram").
+func (s *Store) Name() string { return s.name }
+
+// Device returns the tier's device model (may be nil).
+func (s *Store) Device() *devsim.Device { return s.dev }
+
+// Capacity returns the configured capacity in bytes.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes currently resident.
+func (s *Store) Used() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// Free returns the remaining capacity in bytes.
+func (s *Store) Free() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.capacity - s.used
+}
+
+// Len returns the number of resident segments.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Fits reports whether a payload of size bytes would fit right now.
+func (s *Store) Fits(size int64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used+size <= s.capacity
+}
+
+// Put stores a segment payload, charging the device for the write. The
+// payload is copied. Returns ErrNoSpace when it does not fit; replacing
+// an existing segment accounts only the size delta.
+func (s *Store) Put(id seg.ID, payload []byte) error {
+	size := int64(len(payload))
+	s.mu.Lock()
+	old, had := s.data[id]
+	delta := size
+	if had {
+		delta -= int64(len(old))
+	}
+	if s.used+delta > s.capacity {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s needs %d, free %d", ErrNoSpace, s.name, size, s.capacity-s.used)
+	}
+	cp := make([]byte, size)
+	copy(cp, payload)
+	s.data[id] = cp
+	s.used += delta
+	s.mu.Unlock()
+	if s.dev != nil {
+		s.dev.Access(size)
+	}
+	return nil
+}
+
+// Get returns a copy of the segment payload, charging the device for the
+// full segment read.
+func (s *Store) Get(id seg.ID) ([]byte, error) {
+	s.mu.RLock()
+	p, ok := s.data[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	if s.dev != nil {
+		s.dev.Access(int64(len(p)))
+	}
+	return cp, nil
+}
+
+// ReadAt copies min(len(p), len(seg)-off) bytes from offset off within
+// the resident segment into p, charging the device for the bytes read.
+func (s *Store) ReadAt(id seg.ID, off int64, p []byte) (int, time.Duration, error) {
+	s.mu.RLock()
+	data, ok := s.data[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, 0, ErrNotFound
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return 0, 0, fmt.Errorf("tiers: offset %d out of segment of %d bytes", off, len(data))
+	}
+	n := copy(p, data[off:])
+	var cost time.Duration
+	if s.dev != nil {
+		cost = s.dev.Access(int64(n))
+	}
+	return n, cost, nil
+}
+
+// Take removes and returns the payload (used when demoting: the read
+// cost is charged, the space is freed atomically).
+func (s *Store) Take(id seg.ID) ([]byte, error) {
+	s.mu.Lock()
+	p, ok := s.data[id]
+	if ok {
+		delete(s.data, id)
+		s.used -= int64(len(p))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if s.dev != nil {
+		s.dev.Access(int64(len(p)))
+	}
+	return p, nil
+}
+
+// Delete drops a segment without charging the device (metadata-only
+// eviction, e.g. invalidation after a write event). Reports whether the
+// segment was resident.
+func (s *Store) Delete(id seg.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.data[id]
+	if !ok {
+		return false
+	}
+	delete(s.data, id)
+	s.used -= int64(len(p))
+	return true
+}
+
+// DeleteFile drops every resident segment of the named file and returns
+// how many were dropped.
+func (s *Store) DeleteFile(file string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, p := range s.data {
+		if id.File == file {
+			delete(s.data, id)
+			s.used -= int64(len(p))
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the segment is resident.
+func (s *Store) Has(id seg.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[id]
+	return ok
+}
+
+// SizeOf returns the resident payload size of id, or 0 when absent.
+func (s *Store) SizeOf(id seg.ID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.data[id]))
+}
+
+// Keys returns the IDs of all resident segments (unordered).
+func (s *Store) Keys() []seg.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]seg.ID, 0, len(s.data))
+	for id := range s.data {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Clear removes everything without device charges.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[seg.ID][]byte)
+	s.used = 0
+}
+
+// Hierarchy is an ordered list of tier stores, fastest first. The PFS is
+// not a member: it is the origin below the last tier.
+type Hierarchy struct {
+	stores []*Store
+}
+
+// NewHierarchy builds a hierarchy from stores ordered fastest first.
+func NewHierarchy(stores ...*Store) *Hierarchy {
+	return &Hierarchy{stores: stores}
+}
+
+// Stores returns the tiers in order, fastest first.
+func (h *Hierarchy) Stores() []*Store { return h.stores }
+
+// Len returns the number of tiers.
+func (h *Hierarchy) Len() int { return len(h.stores) }
+
+// Tier returns the i-th store (0 = fastest), nil when out of range.
+func (h *Hierarchy) Tier(i int) *Store {
+	if i < 0 || i >= len(h.stores) {
+		return nil
+	}
+	return h.stores[i]
+}
+
+// ByName returns the store with the given name and its index, or nil, -1.
+func (h *Hierarchy) ByName(name string) (*Store, int) {
+	for i, s := range h.stores {
+		if s.name == name {
+			return s, i
+		}
+	}
+	return nil, -1
+}
+
+// Locate finds which tier holds id; returns the index or -1.
+func (h *Hierarchy) Locate(id seg.ID) int {
+	for i, s := range h.stores {
+		if s.Has(id) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ExclusiveOK verifies the exclusive-cache invariant: no segment resident
+// in more than one tier. It returns the first violating ID, if any.
+func (h *Hierarchy) ExclusiveOK() (seg.ID, bool) {
+	seen := make(map[seg.ID]struct{})
+	for _, s := range h.stores {
+		for _, id := range s.Keys() {
+			if _, dup := seen[id]; dup {
+				return id, false
+			}
+			seen[id] = struct{}{}
+		}
+	}
+	return seg.ID{}, true
+}
+
+// TotalUsed returns bytes resident across all tiers.
+func (h *Hierarchy) TotalUsed() int64 {
+	var t int64
+	for _, s := range h.stores {
+		t += s.Used()
+	}
+	return t
+}
+
+// DeleteFile invalidates a file across every tier, returning the number
+// of segments dropped.
+func (h *Hierarchy) DeleteFile(file string) int {
+	n := 0
+	for _, s := range h.stores {
+		n += s.DeleteFile(file)
+	}
+	return n
+}

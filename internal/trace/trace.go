@@ -1,0 +1,172 @@
+// Package trace records per-access samples during experiment runs and
+// exports them as CSV for offline analysis (latency distributions,
+// hit-ratio time series, per-tier breakdowns). The recorder is a fixed
+// capacity ring so tracing a long run costs constant memory; sampling
+// keeps the hot path cheap.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one recorded access.
+type Sample struct {
+	When    time.Time
+	File    string
+	Offset  int64
+	Length  int64
+	Tier    string // "" = PFS (miss)
+	Latency time.Duration
+}
+
+// Hit reports whether the sample was served from a tier.
+func (s Sample) Hit() bool { return s.Tier != "" }
+
+// Recorder is a sampling ring buffer of access samples. Safe for
+// concurrent use.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Sample
+	next int
+	full bool
+
+	sampleEvery int64
+	counter     atomic.Int64
+
+	recorded atomic.Int64
+	dropped  atomic.Int64
+}
+
+// NewRecorder creates a recorder holding up to capacity samples,
+// recording every sampleEvery-th access (1 = record everything).
+func NewRecorder(capacity int, sampleEvery int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	return &Recorder{buf: make([]Sample, capacity), sampleEvery: int64(sampleEvery)}
+}
+
+// Record stores (or samples away) one access.
+func (r *Recorder) Record(s Sample) {
+	if n := r.counter.Add(1); (n-1)%r.sampleEvery != 0 {
+		r.dropped.Add(1)
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	r.recorded.Add(1)
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Counts returns (recorded, sampled-away).
+func (r *Recorder) Counts() (recorded, dropped int64) {
+	return r.recorded.Load(), r.dropped.Load()
+}
+
+// Samples returns the retained samples in arrival order.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Sample, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Sample, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// WriteCSV streams the retained samples as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"when_unix_ns", "file", "offset", "length", "tier", "hit", "latency_us"}); err != nil {
+		return err
+	}
+	for _, s := range r.Samples() {
+		rec := []string{
+			strconv.FormatInt(s.When.UnixNano(), 10),
+			s.File,
+			strconv.FormatInt(s.Offset, 10),
+			strconv.FormatInt(s.Length, 10),
+			s.Tier,
+			strconv.FormatBool(s.Hit()),
+			strconv.FormatFloat(float64(s.Latency)/float64(time.Microsecond), 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary aggregates retained samples.
+type Summary struct {
+	Samples   int
+	Hits      int
+	HitRatio  float64
+	ByTier    map[string]int
+	MeanLatUS float64
+	P99LatUS  float64
+}
+
+// Summarize computes a Summary of the retained samples.
+func (r *Recorder) Summarize() Summary {
+	samples := r.Samples()
+	sum := Summary{Samples: len(samples), ByTier: make(map[string]int)}
+	if len(samples) == 0 {
+		return sum
+	}
+	lats := make([]float64, 0, len(samples))
+	var total float64
+	for _, s := range samples {
+		if s.Hit() {
+			sum.Hits++
+			sum.ByTier[s.Tier]++
+		}
+		us := float64(s.Latency) / float64(time.Microsecond)
+		lats = append(lats, us)
+		total += us
+	}
+	sum.HitRatio = float64(sum.Hits) / float64(len(samples))
+	sum.MeanLatUS = total / float64(len(samples))
+	sort.Float64s(lats) // nearest-rank p99
+	idx := int(0.99*float64(len(lats))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	sum.P99LatUS = lats[idx]
+	return sum
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("samples=%d hit=%.1f%% mean=%.1fµs p99=%.1fµs tiers=%v",
+		s.Samples, s.HitRatio*100, s.MeanLatUS, s.P99LatUS, s.ByTier)
+}

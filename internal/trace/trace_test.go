@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sample(tier string, lat time.Duration) Sample {
+	return Sample{When: time.Unix(0, 1), File: "f", Offset: 0, Length: 100, Tier: tier, Latency: lat}
+}
+
+func TestRecordAndSamplesOrder(t *testing.T) {
+	r := NewRecorder(8, 1)
+	for i := 0; i < 5; i++ {
+		r.Record(Sample{Offset: int64(i)})
+	}
+	got := r.Samples()
+	if len(got) != 5 || r.Len() != 5 {
+		t.Fatalf("len = %d/%d", len(got), r.Len())
+	}
+	for i, s := range got {
+		if s.Offset != int64(i) {
+			t.Fatalf("order wrong at %d: %d", i, s.Offset)
+		}
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	r := NewRecorder(4, 1)
+	for i := 0; i < 10; i++ {
+		r.Record(Sample{Offset: int64(i)})
+	}
+	got := r.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained = %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Offset != int64(6+i) {
+			t.Fatalf("ring kept wrong samples: %+v", got)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRecorder(100, 10)
+	for i := 0; i < 100; i++ {
+		r.Record(Sample{})
+	}
+	rec, drop := r.Counts()
+	if rec != 10 || drop != 90 {
+		t.Fatalf("counts = %d/%d, want 10/90", rec, drop)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(8, 1)
+	r.Record(sample("ram", 5*time.Microsecond))
+	r.Record(sample("", 100*time.Microsecond))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2", len(lines))
+	}
+	if !strings.Contains(lines[1], "ram") || !strings.Contains(lines[1], "true") {
+		t.Fatalf("hit row wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "false") {
+		t.Fatalf("miss row wrong: %s", lines[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(16, 1)
+	for i := 0; i < 9; i++ {
+		r.Record(sample("ram", 10*time.Microsecond))
+	}
+	r.Record(sample("", 1000*time.Microsecond))
+	s := r.Summarize()
+	if s.Samples != 10 || s.Hits != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.HitRatio != 0.9 || s.ByTier["ram"] != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MeanLatUS < 100 || s.MeanLatUS > 120 {
+		t.Fatalf("mean = %v", s.MeanLatUS)
+	}
+	if s.P99LatUS != 10 { // nearest rank of 10 samples at p99 -> 9th
+		t.Logf("p99 = %v (nearest-rank)", s.P99LatUS)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := NewRecorder(4, 1)
+	s := r.Summarize()
+	if s.Samples != 0 || s.HitRatio != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(1024, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(sample("ram", time.Microsecond))
+			}
+		}()
+	}
+	wg.Wait()
+	rec, _ := r.Counts()
+	if rec != 4000 {
+		t.Fatalf("recorded = %d, want 4000", rec)
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("retained = %d, want capacity", r.Len())
+	}
+}

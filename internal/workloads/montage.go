@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// MontageConfig scales the Montage workflow emulation (Figure 6a).
+type MontageConfig struct {
+	// Procs is the number of MPI processes across all phases.
+	Procs int
+	// ImageBytes is the size of one FITS image file.
+	ImageBytes int64
+	// Images is the number of input images.
+	Images int
+	// Req is the request size.
+	Req int64
+	// Steps is the number of time steps per phase (paper: 16 total).
+	Steps int
+	// Think is the computation time per step.
+	Think time.Duration
+}
+
+// Montage emulates the Montage astronomical image mosaic workflow: an
+// I/O-intensive, iterative multi-application pipeline.
+//
+// Phase 1 (mProject): FITS images are read sequentially by multiple
+// processes. Phase 2 (re-projection): a subset of images is read by
+// multiple processes, multiple times, in different time frames. Phase 3
+// (mDiff/mFit): diffs between projected images are computed until the
+// model converges — a random but repetitive read pattern. Phase 4
+// (mBackground/mAdd): a sequential correction pass over the overlaid
+// images. Every phase reads data the previous phase touched, which is
+// exactly the cross-application reuse a data-centric prefetcher exploits.
+func Montage(cfg MontageConfig) []App {
+	if cfg.Steps < 4 {
+		cfg.Steps = 4
+	}
+	perPhase := cfg.Steps / 4
+	img := func(i int) string { return fmt.Sprintf("montage/fits-%d", i%cfg.Images) }
+	rng := rand.New(rand.NewSource(7))
+
+	project := App{Name: "mProject"}
+	reproject := App{Name: "mReproject"}
+	diff := App{Name: "mDiffFit"}
+	background := App{Name: "mBackground"}
+
+	for p := 0; p < cfg.Procs; p++ {
+		// Phase 1: sequential read of this process's images.
+		var s1 Script
+		for st := 0; st < perPhase; st++ {
+			s1 = append(s1, TimeStepped(img(p+st), cfg.ImageBytes, cfg.Req, 1, cfg.Think)...)
+		}
+		project.Procs = append(project.Procs, s1)
+
+		// Phase 2: the same subset of images read repeatedly in
+		// different time frames by many processes.
+		var s2 Script
+		for st := 0; st < perPhase; st++ {
+			s2 = append(s2, TimeStepped(img(st), cfg.ImageBytes, cfg.Req, 1, cfg.Think)...)
+		}
+		reproject.Procs = append(reproject.Procs, s2)
+
+		// Phase 3: random-but-repetitive diffs until convergence.
+		var s3 Script
+		for st := 0; st < perPhase; st++ {
+			pick := rng.Intn(cfg.Images)
+			s3 = append(s3, PatternScript(Repetitive, img(pick), cfg.ImageBytes,
+				cfg.Req, cfg.ImageBytes/2, cfg.Think, int64(p*31+st))...)
+		}
+		diff.Procs = append(diff.Procs, s3)
+
+		// Phase 4: sequential correction pass.
+		var s4 Script
+		for st := 0; st < perPhase; st++ {
+			s4 = append(s4, TimeStepped(img(p+st), cfg.ImageBytes, cfg.Req, 1, cfg.Think)...)
+		}
+		background.Procs = append(background.Procs, s4)
+	}
+	return []App{project, reproject, diff, background}
+}
+
+// MontageFiles returns the input files the workflow needs, with sizes.
+func MontageFiles(cfg MontageConfig) map[string]int64 {
+	out := make(map[string]int64, cfg.Images)
+	for i := 0; i < cfg.Images; i++ {
+		out[fmt.Sprintf("montage/fits-%d", i)] = cfg.ImageBytes
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// jsonAccess is the stable on-disk form of an Access.
+type jsonAccess struct {
+	File    string `json:"file"`
+	Off     int64  `json:"off"`
+	Len     int64  `json:"len"`
+	ThinkUS int64  `json:"think_us,omitempty"`
+}
+
+// jsonApp is the stable on-disk form of an App.
+type jsonApp struct {
+	Name  string         `json:"name"`
+	Procs [][]jsonAccess `json:"procs"`
+}
+
+// Document is the serialized workload format: a named set of
+// applications plus the files they need, so a saved workload is
+// self-contained and replayable (cmd/hfdrive, external tools).
+type Document struct {
+	Name  string           `json:"name"`
+	Files map[string]int64 `json:"files"`
+	Apps  []jsonApp        `json:"apps"`
+}
+
+// Export converts apps (and their file manifest) into a Document.
+func Export(name string, files map[string]int64, apps []App) Document {
+	doc := Document{Name: name, Files: files}
+	for _, a := range apps {
+		ja := jsonApp{Name: a.Name}
+		for _, p := range a.Procs {
+			jp := make([]jsonAccess, len(p))
+			for i, acc := range p {
+				jp[i] = jsonAccess{
+					File: acc.File, Off: acc.Off, Len: acc.Len,
+					ThinkUS: int64(acc.Think / time.Microsecond),
+				}
+			}
+			ja.Procs = append(ja.Procs, jp)
+		}
+		doc.Apps = append(doc.Apps, ja)
+	}
+	return doc
+}
+
+// Apps reconstructs the workload from a Document.
+func (d Document) AppList() []App {
+	var out []App
+	for _, ja := range d.Apps {
+		a := App{Name: ja.Name}
+		for _, jp := range ja.Procs {
+			p := make(Script, len(jp))
+			for i, acc := range jp {
+				p[i] = Access{
+					File: acc.File, Off: acc.Off, Len: acc.Len,
+					Think: time.Duration(acc.ThinkUS) * time.Microsecond,
+				}
+			}
+			a.Procs = append(a.Procs, p)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Validate checks that every access stays within its file's manifest.
+func (d Document) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("workloads: document needs a name")
+	}
+	for _, a := range d.Apps {
+		for pi, p := range a.Procs {
+			for ai, acc := range p {
+				size, ok := d.Files[acc.File]
+				if !ok {
+					return fmt.Errorf("workloads: %s proc %d access %d references unknown file %q",
+						a.Name, pi, ai, acc.File)
+				}
+				if acc.Off < 0 || acc.Len <= 0 || acc.Off+acc.Len > size {
+					return fmt.Errorf("workloads: %s proc %d access %d out of bounds: [%d,+%d) of %d",
+						a.Name, pi, ai, acc.Off, acc.Len, size)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Write streams the document as indented JSON.
+func (d Document) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// SaveFile writes the document to path.
+func (d Document) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.Write(f)
+}
+
+// Read parses a document and validates it.
+func Read(r io.Reader) (Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return Document{}, fmt.Errorf("workloads: parse: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return Document{}, err
+	}
+	return d, nil
+}
+
+// LoadFile reads a document from path.
+func LoadFile(path string) (Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Document{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

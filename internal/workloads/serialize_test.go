@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleDoc() Document {
+	apps := SharedFileGroups(2, 2, 1000, 100, 300, Sequential, 5*time.Millisecond)
+	files := map[string]int64{}
+	for _, f := range Files(apps) {
+		files[f] = 1000
+	}
+	return Export("sample", files, apps)
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	doc := sampleDoc()
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := got.AppList()
+	if len(apps) != 2 || len(apps[0].Procs) != 2 {
+		t.Fatalf("apps = %+v", apps)
+	}
+	orig := sampleDoc().AppList()
+	for i := range apps {
+		for j := range apps[i].Procs {
+			for k := range apps[i].Procs[j] {
+				if apps[i].Procs[j][k] != orig[i].Procs[j][k] {
+					t.Fatalf("access mismatch at %d/%d/%d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.json")
+	if err := sampleDoc().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sample" || len(got.Files) != 2 {
+		t.Fatalf("loaded = %+v", got)
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	doc := sampleDoc()
+	doc.Name = ""
+	if err := doc.Validate(); err == nil {
+		t.Fatal("missing name must fail")
+	}
+
+	doc = sampleDoc()
+	doc.Apps[0].Procs[0][0].File = "ghost"
+	if err := doc.Validate(); err == nil || !strings.Contains(err.Error(), "unknown file") {
+		t.Fatalf("unknown file err = %v", err)
+	}
+
+	doc = sampleDoc()
+	doc.Apps[0].Procs[0][0].Off = 999
+	if err := doc.Validate(); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("oob err = %v", err)
+	}
+}
+
+func TestReadRejectsBadJSON(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/wl.json"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -1,0 +1,235 @@
+// Package workloads generates the synthetic and application-derived I/O
+// workloads of the paper's evaluation: the four canonical access
+// patterns (sequential, strided, repetitive, irregular), the
+// compute/I/O-burst workloads w1–w3 of Figure 3(b), the event storm of
+// Figure 3(a), and phase-accurate emulations of the Montage and WRF
+// scientific workflows of Figure 6.
+//
+// A workload is a set of applications, each a set of per-process access
+// scripts. Scripts carry think time (compute) between accesses, which is
+// what gives prefetchers the window to overlap data movement with
+// computation.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Access is one read request preceded by Think of computation.
+type Access struct {
+	File  string
+	Off   int64
+	Len   int64
+	Think time.Duration
+}
+
+// Script is one process's access sequence.
+type Script []Access
+
+// App is one application: a named group of processes.
+type App struct {
+	Name  string
+	Procs []Script
+}
+
+// TotalBytes sums the read sizes across all processes of all apps.
+func TotalBytes(apps []App) int64 {
+	var t int64
+	for _, a := range apps {
+		for _, p := range a.Procs {
+			for _, acc := range p {
+				t += acc.Len
+			}
+		}
+	}
+	return t
+}
+
+// Files returns the distinct files referenced by the apps.
+func Files(apps []App) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range apps {
+		for _, p := range a.Procs {
+			for _, acc := range p {
+				if !seen[acc.File] {
+					seen[acc.File] = true
+					out = append(out, acc.File)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---- canonical patterns (Figure 5) ----
+
+// Pattern names the four canonical access patterns.
+type Pattern string
+
+// The four patterns evaluated in Figure 5.
+const (
+	Sequential Pattern = "sequential"
+	Strided    Pattern = "strided"
+	Repetitive Pattern = "repetitive"
+	Irregular  Pattern = "irregular"
+)
+
+// Patterns lists all four in paper order.
+func Patterns() []Pattern {
+	return []Pattern{Sequential, Strided, Repetitive, Irregular}
+}
+
+// PatternScript builds one process's script over file of fileSize,
+// reading total bytes in req-sized requests with the given pattern and
+// think time. seed de-correlates irregular processes.
+func PatternScript(p Pattern, file string, fileSize, req, total int64, think time.Duration, seed int64) Script {
+	if req <= 0 || total <= 0 || fileSize <= 0 {
+		return nil
+	}
+	n := total / req
+	if n == 0 {
+		n = 1
+	}
+	s := make(Script, 0, n)
+	rng := rand.New(rand.NewSource(seed))
+	switch p {
+	case Sequential:
+		off := int64(0)
+		for i := int64(0); i < n; i++ {
+			if off+req > fileSize {
+				off = 0
+			}
+			s = append(s, Access{File: file, Off: off, Len: req, Think: think})
+			off += req
+		}
+	case Strided:
+		stride := 4 * req
+		off := int64(0)
+		for i := int64(0); i < n; i++ {
+			if off+req > fileSize {
+				off = (off + req) % stride // shift phase each sweep
+			}
+			s = append(s, Access{File: file, Off: off, Len: req, Think: think})
+			off += stride
+		}
+	case Repetitive:
+		// A window is swept repeatedly (model-convergence loops).
+		window := 8 * req
+		if window > fileSize {
+			window = fileSize
+		}
+		off := int64(0)
+		for i := int64(0); i < n; i++ {
+			if off+req > window {
+				off = 0
+			}
+			s = append(s, Access{File: file, Off: off, Len: req, Think: think})
+			off += req
+		}
+	case Irregular:
+		maxOff := fileSize - req
+		if maxOff < 0 {
+			maxOff = 0
+		}
+		for i := int64(0); i < n; i++ {
+			off := rng.Int63n(maxOff + 1)
+			s = append(s, Access{File: file, Off: off, Len: req, Think: think})
+		}
+	}
+	return s
+}
+
+// ---- shared-file process groups (Figures 4a/4b) ----
+
+// SharedFileGroups builds nApps applications of procsPerApp processes;
+// every process of app i reads the file "files/app<i>" of fileSize
+// bytes with the given pattern. This is the WORM, multi-consumer shape
+// scientific workflows exhibit: many ranks processing the same inputs.
+func SharedFileGroups(nApps, procsPerApp int, fileSize, req, totalPerProc int64,
+	pattern Pattern, think time.Duration) []App {
+	apps := make([]App, nApps)
+	for i := range apps {
+		file := fmt.Sprintf("files/app%d", i)
+		apps[i].Name = fmt.Sprintf("app%d", i)
+		for p := 0; p < procsPerApp; p++ {
+			apps[i].Procs = append(apps[i].Procs,
+				PatternScript(pattern, file, fileSize, req, totalPerProc, think, int64(i*1000+p)))
+		}
+	}
+	return apps
+}
+
+// TimeStepped builds a script that makes steps passes over [0, span) of
+// file in req-sized sequential reads, thinking stepThink before each
+// pass (the iterative time-step loops of Figures 4a and 6).
+func TimeStepped(file string, span, req int64, steps int, stepThink time.Duration) Script {
+	return TimeSteppedCompute(file, span, req, steps, stepThink, 0)
+}
+
+// TimeSteppedCompute is TimeStepped with an additional per-access
+// compute time: the processing each read's data receives before the
+// next read is issued. This is the computation window prefetchers
+// overlap data movement with.
+func TimeSteppedCompute(file string, span, req int64, steps int, stepThink, accessThink time.Duration) Script {
+	var s Script
+	for st := 0; st < steps; st++ {
+		first := true
+		for off := int64(0); off+req <= span; off += req {
+			a := Access{File: file, Off: off, Len: req, Think: accessThink}
+			if first {
+				a.Think += stepThink
+				first = false
+			}
+			s = append(s, a)
+		}
+	}
+	return s
+}
+
+// ---- Figure 3(b) burst workloads ----
+
+// BurstClass selects the compute/I/O balance of a burst workload.
+type BurstClass int
+
+// The three Figure 3(b) workloads.
+const (
+	W1DataIntensive BurstClass = iota
+	W2Balanced
+	W3ComputeIntensive
+)
+
+func (c BurstClass) String() string {
+	switch c {
+	case W1DataIntensive:
+		return "w1"
+	case W2Balanced:
+		return "w2"
+	default:
+		return "w3"
+	}
+}
+
+// Burst builds per-process scripts alternating computation with I/O
+// bursts: bursts passes over the process's file in req-sized reads, with
+// think time between bursts set by the class (w1 short, w2 medium, w3
+// long).
+func Burst(class BurstClass, procs int, fileSize, req int64, bursts int, unit time.Duration) []App {
+	var think time.Duration
+	switch class {
+	case W1DataIntensive:
+		think = unit / 4
+	case W2Balanced:
+		think = unit
+	case W3ComputeIntensive:
+		think = 4 * unit
+	}
+	app := App{Name: class.String()}
+	for p := 0; p < procs; p++ {
+		file := fmt.Sprintf("burst/%s-%d", class, p%4) // 4 shared files
+		app.Procs = append(app.Procs, TimeStepped(file, fileSize, req, bursts, think))
+	}
+	return []App{app}
+}

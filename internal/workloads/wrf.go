@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+)
+
+// WRFConfig scales the WRF workflow emulation (Figure 6b).
+type WRFConfig struct {
+	// Procs is the number of processes (strong scaling divides the same
+	// total data across them).
+	Procs int
+	// TotalBytes is the total input data across all scales.
+	TotalBytes int64
+	// Req is the request size.
+	Req int64
+	// Steps is the number of simulation time steps (paper: 4).
+	Steps int
+	// Think is the model computation per step.
+	Think time.Duration
+	// Domains is the number of input domain files.
+	Domains int
+}
+
+// WRF emulates the Weather Research and Forecasting workflow: an
+// iterative multi-application pipeline with three distinct phases.
+//
+// Pre-processing (WPS: geogrid/ungrib/metgrid) reads the static domain
+// inputs sequentially. The main model (wrf.exe) iterates: every
+// simulation time step re-reads boundary/analysis data — observed and
+// simulated data are analyzed many times until the model converges. The
+// post-processing/visualization application reads the model's domain
+// data once more to render it. Strong scaling: the same total data is
+// divided across more processes.
+func WRF(cfg WRFConfig) []App {
+	if cfg.Domains <= 0 {
+		cfg.Domains = 4
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 4
+	}
+	perProc := cfg.TotalBytes / int64(cfg.Procs)
+	if perProc < cfg.Req {
+		perProc = cfg.Req
+	}
+	domain := func(p int) string { return fmt.Sprintf("wrf/domain-%d", p%cfg.Domains) }
+	domainSize := cfg.TotalBytes / int64(cfg.Domains)
+
+	pre := App{Name: "wps"}
+	model := App{Name: "wrf"}
+	post := App{Name: "post"}
+
+	for p := 0; p < cfg.Procs; p++ {
+		file := domain(p)
+		// Each process owns a slice of its domain file.
+		sliceOff := (int64(p/cfg.Domains) * perProc) % maxInt64(domainSize-perProc, 1)
+
+		// Pre-processing: one sequential pass over the slice.
+		var s1 Script
+		for off := int64(0); off+cfg.Req <= perProc; off += cfg.Req {
+			s1 = append(s1, Access{File: file, Off: sliceOff + off, Len: cfg.Req, Think: 0})
+		}
+		pre.Procs = append(pre.Procs, s1)
+
+		// Main model: Steps iterations re-reading the slice with
+		// computation between iterations.
+		var s2 Script
+		for st := 0; st < cfg.Steps; st++ {
+			first := true
+			for off := int64(0); off+cfg.Req <= perProc; off += cfg.Req {
+				a := Access{File: file, Off: sliceOff + off, Len: cfg.Req}
+				if first {
+					a.Think = cfg.Think
+					first = false
+				}
+				s2 = append(s2, a)
+			}
+		}
+		model.Procs = append(model.Procs, s2)
+
+		// Post-processing/visualization: a final pass.
+		var s3 Script
+		for off := int64(0); off+cfg.Req <= perProc; off += cfg.Req {
+			s3 = append(s3, Access{File: file, Off: sliceOff + off, Len: cfg.Req, Think: 0})
+		}
+		post.Procs = append(post.Procs, s3)
+	}
+	return []App{pre, model, post}
+}
+
+// WRFFiles returns the domain files the workflow needs, with sizes.
+func WRFFiles(cfg WRFConfig) map[string]int64 {
+	if cfg.Domains <= 0 {
+		cfg.Domains = 4
+	}
+	out := make(map[string]int64, cfg.Domains)
+	for i := 0; i < cfg.Domains; i++ {
+		out[fmt.Sprintf("wrf/domain-%d", i)] = cfg.TotalBytes / int64(cfg.Domains)
+	}
+	return out
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
