@@ -4,6 +4,8 @@
 //
 //	hfetchctl -addr host:port stats
 //	hfetchctl -addr host:port tiers
+//	hfetchctl -addr host:port metrics [raw]
+//	hfetchctl -addr host:port spans
 //	hfetchctl -addr host:port create <name> <size>
 //	hfetchctl -addr host:port read <name> <off> <len>
 package main
@@ -13,10 +15,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"hfetch/internal/core/remote"
+	"hfetch/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +58,39 @@ func main() {
 		fmt.Printf("placements      %d (promotions %d, demotions %d, evictions %d)\n",
 			st.Placements, st.Promotions, st.Demotions, st.Evictions)
 		fmt.Printf("remote traffic  %d reads issued, %d served\n", st.RemoteReads, st.RemoteServes)
+		fmt.Printf("server I/O      %s\n", st.IO)
+	case "metrics":
+		snap, err := c.Metrics()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		if len(snap.Metrics) == 0 {
+			fmt.Println("no metrics (daemon runs with telemetry disabled)")
+			return
+		}
+		if len(args) > 1 && args[1] == "raw" {
+			snap.WriteText(os.Stdout)
+			return
+		}
+		printMetrics(snap)
+	case "spans":
+		recs, err := c.Spans()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		if len(recs) == 0 {
+			fmt.Println("no sampled spans (telemetry or span log disabled, or no traffic yet)")
+			return
+		}
+		fmt.Printf("%-12s %-24s %8s %-8s %12s\n", "STAGE", "FILE", "SEG", "TIER", "DURATION")
+		for _, r := range recs {
+			seg := "-"
+			if r.Seg >= 0 {
+				seg = strconv.FormatInt(r.Seg, 10)
+			}
+			fmt.Printf("%-12s %-24s %8s %-8s %12v\n",
+				r.Stage, ellipsis(r.File, 24), seg, orDash(r.Tier), time.Duration(r.Nanos).Round(time.Microsecond))
+		}
 	case "tiers":
 		ti, err := c.Tiers()
 		if err != nil {
@@ -92,6 +130,58 @@ func main() {
 	}
 }
 
+// printMetrics renders a telemetry snapshot for humans: counters and
+// gauges as plain values, histograms as count/mean/p50/p90/p99/max,
+// with *_nanos series shown as durations.
+func printMetrics(snap telemetry.Snapshot) {
+	ms := append([]telemetry.MetricSnapshot(nil), snap.Metrics...)
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return ms[i].Labels < ms[j].Labels
+	})
+	for _, m := range ms {
+		name := m.Name + m.Labels
+		if m.Hist != nil {
+			h := m.Hist
+			if h.Count == 0 {
+				fmt.Printf("%-64s (no samples)\n", name)
+				continue
+			}
+			if strings.Contains(m.Name, "_nanos") {
+				fmt.Printf("%-64s count %-8d mean %-10v p50 %-10v p90 %-10v p99 %-10v max %v\n",
+					name, h.Count, dur(int64(h.Mean())), dur(h.Quantile(0.5)),
+					dur(h.Quantile(0.9)), dur(h.Quantile(0.99)), dur(h.Max))
+			} else {
+				fmt.Printf("%-64s count %-8d mean %-10.0f p50 %-10d p90 %-10d p99 %-10d max %d\n",
+					name, h.Count, h.Mean(), h.Quantile(0.5),
+					h.Quantile(0.9), h.Quantile(0.99), h.Max)
+			}
+			continue
+		}
+		fmt.Printf("%-64s %d\n", name, m.Value)
+	}
+}
+
+func dur(nanos int64) time.Duration {
+	return time.Duration(nanos).Round(time.Microsecond)
+}
+
+func ellipsis(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "…" + s[len(s)-n+1:]
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 func mustInt(s string) int64 {
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
@@ -106,6 +196,8 @@ commands:
   ping                      liveness probe
   stats                     show server counters
   tiers                     show tier occupancy
+  metrics [raw]             show telemetry (raw = Prometheus text)
+  spans                     show sampled pipeline spans
   create <name> <size>      register a synthetic file
   read <name> <off> <len>   read through the prefetcher`)
 	os.Exit(2)

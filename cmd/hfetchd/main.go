@@ -1,7 +1,10 @@
 // Command hfetchd runs a standalone HFetch server node: it builds the
 // configured tier hierarchy over the emulated PFS, starts the hardware
 // monitor and the hierarchical data placement engine, and serves the
-// agent protocol (open/read/write/close + admin/ctl) over TCP.
+// agent protocol (open/read/write/close + admin/ctl) over TCP. When
+// http_listen is configured it also serves the observability API:
+// /metrics (Prometheus text), /healthz, /stats, /tiers, /spans, and
+// /debug/pprof.
 //
 // Usage:
 //
@@ -12,11 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -30,6 +33,7 @@ import (
 	"hfetch/internal/devsim"
 	"hfetch/internal/dhm"
 	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
 
@@ -78,19 +82,38 @@ func main() {
 	log.Printf("hfetchd: node %s serving on %s (%d tiers, segment %d bytes)",
 		cfg.Node, ts.Addr(), len(cfg.Tiers), cfg.SegmentSize)
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var httpSrv *http.Server
+	httpErr := make(chan error, 1)
 	if cfg.HTTPListen != "" {
+		httpSrv = &http.Server{
+			Addr:              cfg.HTTPListen,
+			Handler:           remote.NewHTTPHandler(srv),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			log.Printf("hfetchd: status API on http://%s", cfg.HTTPListen)
-			if err := http.ListenAndServe(cfg.HTTPListen, remote.NewHTTPHandler(srv)); err != nil {
-				log.Printf("hfetchd: status API: %v", err)
+			log.Printf("hfetchd: observability API on http://%s (/metrics /healthz /stats /tiers /spans /debug/pprof)", cfg.HTTPListen)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				httpErr <- err
 			}
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("hfetchd: shutting down")
+	select {
+	case <-ctx.Done():
+		log.Printf("hfetchd: shutting down")
+	case err := <-httpErr:
+		log.Printf("hfetchd: observability API: %v", err)
+	}
+	if httpSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("hfetchd: http shutdown: %v", err)
+		}
+	}
 }
 
 // build assembles the server from the configuration.
@@ -141,6 +164,21 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 		SeqBoost:    cfg.SeqBoost,
 		HeatDir:     cfg.HeatDir,
 		SharedTiers: shared,
+	}
+	if !cfg.DisableTelemetry {
+		size, every := cfg.SpanLogSize, cfg.SpanSampleEvery
+		if size <= 0 {
+			size = 256
+		}
+		if every <= 0 {
+			every = 16
+		}
+		reg := telemetry.NewRegistry()
+		reg.EnableSpans(size, every)
+		if cfg.TimeSampleEvery > 0 {
+			reg.SetTimeSampling(cfg.TimeSampleEvery)
+		}
+		scfg.Telemetry = reg
 	}
 	scfg.Monitor.Daemons = cfg.Daemons
 	scfg.Engine = placement.Config{

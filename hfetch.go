@@ -13,6 +13,7 @@ import (
 	"hfetch/internal/dhm"
 	"hfetch/internal/metrics"
 	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
 
@@ -71,6 +72,20 @@ type Config struct {
 	EnableML bool
 	// TimeScale multiplies all modeled device times (default 1).
 	TimeScale float64
+	// EnableTelemetry gives every node its own metric registry
+	// (per-tier read/movement histograms, queue depth, pipeline stage
+	// timings; see Node.Telemetry and Cluster.TelemetrySnapshot). Off by
+	// default: the instrumentation then costs ~nothing on the read path.
+	EnableTelemetry bool
+	// SpanLogSize and SpanSampleEvery tune the sampled pipeline-span ring
+	// each node keeps when telemetry is on (defaults 256 and 16).
+	SpanLogSize     int
+	SpanSampleEvery int
+	// TimeSampleEvery sets how often hot-path latency observations read
+	// the clock: one in every N operations (default
+	// telemetry.DefaultTimeSampleEvery; 1 times everything). Counters are
+	// never sampled.
+	TimeSampleEvery int
 	// Tiers lists the hierarchy fastest-first. Defaults to
 	// DefaultTiers() when empty.
 	Tiers []TierSpec
@@ -139,6 +154,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if len(cfg.Tiers) == 0 {
 		cfg.Tiers = DefaultTiers(8<<20, 24<<20, 32<<20)
 	}
+	if cfg.SpanLogSize <= 0 {
+		cfg.SpanLogSize = 256
+	}
+	if cfg.SpanSampleEvery <= 0 {
+		cfg.SpanSampleEvery = 16
+	}
 	pfsProf := devsim.Profile{
 		Name:        "pfs",
 		Latency:     cfg.PFS.Latency,
@@ -204,6 +225,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			SharedTiers: sharedNames,
 			Learner:     c.learner,
 		}
+		if cfg.EnableTelemetry {
+			// One registry per node: snapshot-time closures (queue depth,
+			// tier occupancy) are bound to a single server each; merge
+			// per-node snapshots with Cluster.TelemetrySnapshot.
+			reg := telemetry.NewRegistry()
+			reg.EnableSpans(cfg.SpanLogSize, cfg.SpanSampleEvery)
+			if cfg.TimeSampleEvery > 0 {
+				reg.SetTimeSampling(cfg.TimeSampleEvery)
+			}
+			srvCfg.Telemetry = reg
+		}
 		srvCfg.Monitor.Daemons = cfg.DaemonThreads
 		srvCfg.Engine = placement.Config{
 			Interval:        cfg.EngineInterval,
@@ -266,8 +298,28 @@ func (c *Cluster) MLStats() (pos, neg int64, ok bool) {
 	return pos, neg, true
 }
 
+// TelemetrySnapshot merges every node's metric registry into one
+// cluster-wide snapshot (counters and histograms sum; rendering it with
+// WriteText gives the aggregate Prometheus view). ok is false when
+// EnableTelemetry was not set.
+func (c *Cluster) TelemetrySnapshot() (telemetry.Snapshot, bool) {
+	var out telemetry.Snapshot
+	any := false
+	for _, n := range c.nodes {
+		if reg := n.srv.Telemetry(); reg != nil {
+			out.Merge(reg.Snapshot())
+			any = true
+		}
+	}
+	return out, any
+}
+
 // Name returns the node's cluster name.
 func (n *Node) Name() string { return n.name }
+
+// Telemetry returns the node's metric registry (nil unless
+// Config.EnableTelemetry was set).
+func (n *Node) Telemetry() *telemetry.Registry { return n.srv.Telemetry() }
 
 // Server exposes the node's HFetch server (advanced use: metrics,
 // hierarchy inspection).
@@ -286,7 +338,9 @@ func (n *Node) NewClient() *Client {
 // NewClientWithStats creates a client recording into the given stats
 // collector (nil allocates a private one).
 func (n *Node) NewClientWithStats(stats *metrics.IOStats) *Client {
-	return &Client{agent: agent.New(n.srv, n.srv.FS(), stats)}
+	ag := agent.New(n.srv, n.srv.FS(), stats)
+	ag.SetTelemetry(n.srv.Telemetry())
+	return &Client{agent: ag}
 }
 
 // Client is an application's connection to HFetch (the agent).

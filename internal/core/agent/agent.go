@@ -17,6 +17,7 @@ import (
 	"hfetch/internal/events"
 	"hfetch/internal/metrics"
 	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
 )
 
 // ServerAPI is what an agent needs from its HFetch server (implemented
@@ -37,6 +38,10 @@ type Agent struct {
 	api   ServerAPI
 	fs    *pfs.FS
 	stats *metrics.IOStats
+
+	// Telemetry handles; nil when disabled (their methods no-op).
+	tele    *telemetry.Registry
+	pfsHist *telemetry.Histogram
 }
 
 // New creates an agent. stats may be shared across agents of one
@@ -46,6 +51,19 @@ func New(api ServerAPI, fs *pfs.FS, stats *metrics.IOStats) *Agent {
 		stats = metrics.NewIOStats()
 	}
 	return &Agent{api: api, fs: fs, stats: stats}
+}
+
+// SetTelemetry attaches a registry: every ReadAt records a client_read
+// pipeline span and PFS-fallback reads record their latency under
+// hfetch_tier_read_nanos{tier="pfs"}. Call before traffic; nil is
+// ignored.
+func (a *Agent) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	a.tele = reg
+	a.pfsHist = reg.Histogram("hfetch_tier_read_nanos",
+		"prefetched-read latency by serving tier in nanoseconds", "tier", "pfs")
 }
 
 // Stats returns the agent's I/O statistics collector.
@@ -122,9 +140,16 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			continue
 		}
 		// Miss, or stale mapping (segment demoted or evicted mid-read).
+		var pfsStart time.Time
+		if f.a.tele != nil {
+			pfsStart = time.Now()
+		}
 		got, _, err := f.a.fs.ReadAt(f.name, cur, dst)
 		if err != nil {
 			return int(n), fmt.Errorf("agent: pfs read: %w", err)
+		}
+		if f.a.tele != nil {
+			f.a.pfsHist.Observe(int64(time.Since(pfsStart)))
 		}
 		f.a.stats.Miss(int64(got))
 		n += int64(got)
@@ -132,7 +157,11 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			break
 		}
 	}
-	f.a.stats.ObserveRead(time.Since(start))
+	elapsed := time.Since(start)
+	f.a.stats.ObserveRead(elapsed)
+	if f.a.tele.TimeSample() {
+		f.a.tele.Span(telemetry.StageClientRead, f.name, segr.IndexOf(off), "", start, elapsed)
+	}
 
 	f.a.api.PostEvent(events.Event{
 		Op: events.OpRead, File: f.name, Offset: off, Length: n, Time: start,

@@ -28,6 +28,7 @@ import (
 	"hfetch/internal/core/seg"
 	"hfetch/internal/dhm"
 	"hfetch/internal/events"
+	"hfetch/internal/telemetry"
 )
 
 func init() {
@@ -82,6 +83,9 @@ type Config struct {
 	// auditor feeds the model online (re-accesses as positives, one-shot
 	// segments as negatives at epoch end).
 	Learner *score.Learned
+	// Telemetry, when non-nil, times per-event scoring (the audit
+	// pipeline stage) and exports the auditor counters.
+	Telemetry *telemetry.Registry
 }
 
 // Stats reports auditor counters.
@@ -143,6 +147,17 @@ func New(cfg Config, stats, maps *dhm.Map) *Auditor {
 		epochs: make(map[string]*epochState),
 	}
 	a.registerOps()
+	if reg := cfg.Telemetry; reg != nil {
+		reg.CounterFunc("hfetch_events_total", "events seen by the auditor", a.ctr.events.Load)
+		reg.CounterFunc("hfetch_reads_total", "read events audited", a.ctr.reads.Load)
+		reg.CounterFunc("hfetch_invalidations_total", "write events invalidating prefetched data", a.ctr.invalidations.Load)
+		reg.CounterFunc("hfetch_segments_seen", "distinct segments with statistics", a.ctr.segs.Load)
+		reg.GaugeFunc("hfetch_open_epochs", "files inside a prefetching epoch", func() int64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return int64(len(a.epochs))
+		})
+	}
 	return a
 }
 
@@ -386,6 +401,11 @@ func (a *Auditor) saveHeatmap(file string, size int64) {
 // daemon pool.
 func (a *Auditor) HandleEvent(ev events.Event) {
 	a.ctr.events.Add(1)
+	var start time.Time
+	timed := a.cfg.Telemetry.TimeSample()
+	if timed {
+		start = time.Now()
+	}
 	switch ev.Op {
 	case events.OpRead:
 		a.ctr.reads.Add(1)
@@ -396,6 +416,13 @@ func (a *Auditor) HandleEvent(ev events.Event) {
 	case events.OpCapacity, events.OpOpen, events.OpClose:
 		// Capacity is consumed for metrics; open/close epochs arrive via
 		// the agent manager's StartEpoch/EndEpoch.
+	}
+	if timed {
+		segIdx := int64(-1)
+		if ev.Op == events.OpRead {
+			segIdx = a.cfg.Segmenter.IndexOf(ev.Offset)
+		}
+		a.cfg.Telemetry.Span(telemetry.StageAudit, ev.File, segIdx, ev.Tier, start, time.Since(start))
 	}
 }
 

@@ -14,9 +14,11 @@ package ioclient
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"hfetch/internal/core/seg"
 	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
 
@@ -34,6 +36,13 @@ type Client struct {
 	seg *seg.Segmenter
 
 	fetches, transfers, evictions, bytes atomic.Int64
+
+	// Telemetry handles; all nil when disabled (their methods no-op).
+	tele     *telemetry.Registry
+	bytesIn  *telemetry.CounterVec // bytes written into a tier
+	bytesOut *telemetry.CounterVec // bytes leaving a tier (demotion source)
+	evictVec *telemetry.CounterVec
+	moveHist *telemetry.HistVec // per-destination-tier movement latency
 }
 
 // New creates a client reading origin data from fs with the given
@@ -42,9 +51,30 @@ func New(fs *pfs.FS, segmenter *seg.Segmenter) *Client {
 	return &Client{fs: fs, seg: segmenter}
 }
 
+// SetTelemetry attaches a registry: every movement records per-tier
+// moved-bytes counters, a per-destination latency histogram, and a
+// fetch pipeline span. Call before traffic; nil is ignored.
+func (c *Client) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.tele = reg
+	c.bytesIn = reg.CounterVec("hfetch_tier_moved_bytes_in_total", "bytes moved into the tier by the I/O client", "tier")
+	c.bytesOut = reg.CounterVec("hfetch_tier_moved_bytes_out_total", "bytes moved out of the tier by the I/O client", "tier")
+	c.evictVec = reg.CounterVec("hfetch_tier_evictions_total", "segments evicted from the tier", "tier")
+	c.moveHist = reg.HistVec("hfetch_tier_move_nanos", "data-movement latency into the tier in nanoseconds", "tier")
+	reg.CounterFunc("hfetch_fetches_total", "segment fetches from the PFS", c.fetches.Load)
+	reg.CounterFunc("hfetch_transfers_total", "tier-to-tier segment transfers", c.transfers.Load)
+	reg.CounterFunc("hfetch_moved_bytes_total", "total bytes moved by the I/O client", c.bytes.Load)
+}
+
 // Fetch loads segment id from the PFS into dst. size > 0 overrides the
 // payload length (clipped segments); size <= 0 reads a full grain.
 func (c *Client) Fetch(id seg.ID, size int64, dst *tiers.Store) error {
+	var start time.Time
+	if c.tele != nil {
+		start = time.Now()
+	}
 	r := c.seg.RangeOf(id, 0)
 	if size > 0 && size < r.Len {
 		r.Len = size
@@ -62,6 +92,12 @@ func (c *Client) Fetch(id seg.ID, size int64, dst *tiers.Store) error {
 	}
 	c.fetches.Add(1)
 	c.bytes.Add(int64(n))
+	if c.tele != nil {
+		d := time.Since(start)
+		c.bytesIn.With(dst.Name()).Add(int64(n))
+		c.moveHist.With(dst.Name()).Observe(int64(d))
+		c.tele.Span(telemetry.StageFetch, id.File, id.Index, dst.Name(), start, d)
+	}
 	return nil
 }
 
@@ -69,6 +105,10 @@ func (c *Client) Fetch(id seg.ID, size int64, dst *tiers.Store) error {
 // demotion). On a destination failure the payload is restored to src so
 // no data is lost mid-move.
 func (c *Client) Transfer(id seg.ID, src, dst *tiers.Store) error {
+	var start time.Time
+	if c.tele != nil {
+		start = time.Now()
+	}
 	payload, err := src.Take(id)
 	if err != nil {
 		return fmt.Errorf("ioclient: transfer %v from %s: %w", id, src.Name(), err)
@@ -82,6 +122,13 @@ func (c *Client) Transfer(id seg.ID, src, dst *tiers.Store) error {
 	}
 	c.transfers.Add(1)
 	c.bytes.Add(int64(len(payload)))
+	if c.tele != nil {
+		d := time.Since(start)
+		c.bytesOut.With(src.Name()).Add(int64(len(payload)))
+		c.bytesIn.With(dst.Name()).Add(int64(len(payload)))
+		c.moveHist.With(dst.Name()).Observe(int64(d))
+		c.tele.Span(telemetry.StageFetch, id.File, id.Index, dst.Name(), start, d)
+	}
 	return nil
 }
 
@@ -92,6 +139,7 @@ func (c *Client) Evict(id seg.ID, src *tiers.Store) error {
 		return tiers.ErrNotFound
 	}
 	c.evictions.Add(1)
+	c.evictVec.With(src.Name()).Inc()
 	return nil
 }
 

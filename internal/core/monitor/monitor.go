@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hfetch/internal/events"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
 
@@ -34,6 +35,9 @@ type Config struct {
 	CapacityInterval time.Duration
 	// Batch is the daemon batch size when draining the queue (default 64).
 	Batch int
+	// Telemetry, when non-nil, exports queue depth/wait and consumption
+	// counters; nil disables instrumentation at ~zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // Monitor is safe for concurrent use.
@@ -62,13 +66,19 @@ func New(cfg Config, handler Handler, hier *tiers.Hierarchy) *Monitor {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 64
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:     cfg,
 		queue:   events.NewQueue(cfg.QueueCap, cfg.Drop),
 		handler: handler,
 		hier:    hier,
 		stop:    make(chan struct{}),
 	}
+	if cfg.Telemetry != nil {
+		m.queue.SetTelemetry(cfg.Telemetry)
+		cfg.Telemetry.CounterFunc("hfetch_events_consumed_total",
+			"events handled by the daemon pool", m.consumed.Load)
+	}
+	return m
 }
 
 // Queue exposes the event queue so tiers and the I/O layer can push.

@@ -29,6 +29,7 @@ import (
 
 	"hfetch/internal/core/auditor"
 	"hfetch/internal/core/seg"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
 
@@ -78,6 +79,9 @@ type Config struct {
 	// re-placed (and possibly swapped with an equal-scored neighbour).
 	// Default 0.2; negative disables damping.
 	Hysteresis float64
+	// Telemetry, when non-nil, times placement decisions (the place
+	// pipeline stage) and exports the engine counters.
+	Telemetry *telemetry.Registry
 }
 
 // Stats are cumulative engine counters.
@@ -176,6 +180,20 @@ func New(cfg Config, hier *tiers.Hierarchy, mover Mover, aud *auditor.Auditor) *
 	for i := range e.resident {
 		e.resident[i] = make(map[seg.ID]entry)
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		reg.CounterFunc("hfetch_engine_runs_total", "placement engine passes", e.ctr.runs.Load)
+		reg.CounterFunc("hfetch_engine_updates_total", "score updates received", e.ctr.updates.Load)
+		reg.CounterFunc("hfetch_placements_total", "segments fetched from the PFS", e.ctr.placements.Load)
+		reg.CounterFunc("hfetch_promotions_total", "segments moved to a faster tier", e.ctr.promotions.Load)
+		reg.CounterFunc("hfetch_demotions_total", "segments moved to a slower tier", e.ctr.demotions.Load)
+		reg.CounterFunc("hfetch_evictions_total", "segments dropped from the hierarchy", e.ctr.evictions.Load)
+		reg.CounterFunc("hfetch_failed_moves_total", "data movements that failed and were reconciled", e.ctr.failed.Load)
+		reg.GaugeFunc("hfetch_engine_pending_updates", "score updates awaiting the next pass", func() int64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return int64(len(e.pending))
+		})
+	}
 	return e
 }
 
@@ -265,6 +283,10 @@ func (e *Engine) run() {
 	e.mu.Unlock()
 
 	e.ctr.runs.Add(1)
+	var decideStart time.Time
+	if e.cfg.Telemetry != nil {
+		decideStart = time.Now()
+	}
 
 	for file := range inval {
 		e.dropFile(file)
@@ -283,6 +305,10 @@ func (e *Engine) run() {
 		e.plan(u, &plan)
 	}
 	e.mu.Unlock()
+	if e.cfg.Telemetry != nil {
+		// Decision latency: planning only, data movement is the fetch stage.
+		e.cfg.Telemetry.Span(telemetry.StagePlace, "", -1, "", decideStart, time.Since(decideStart))
+	}
 	e.execute(mergePlan(plan))
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"hfetch/internal/core/server"
 )
@@ -14,7 +15,12 @@ import (
 //	GET /healthz      -> 200 "ok"
 //	GET /stats        -> JSON StatsReply
 //	GET /tiers        -> JSON []TierInfo
-//	GET /metrics      -> Prometheus-style text exposition
+//	GET /metrics      -> Prometheus text exposition from the node's
+//	                     telemetry registry (histograms included); when
+//	                     the daemon runs without telemetry, a coarse
+//	                     counter-only fallback rendered from StatsReply
+//	GET /spans        -> JSON sampled pipeline spans, most recent first
+//	GET /debug/pprof/ -> net/http/pprof profiles
 func NewHTTPHandler(srv *server.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -27,31 +33,50 @@ func NewHTTPHandler(srv *server.Server) http.Handler {
 	mux.HandleFunc("GET /tiers", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, tierInfos(srv))
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		st := statsReply(srv)
-		emit := func(name string, v int64, labels string) {
-			fmt.Fprintf(w, "hfetch_%s%s %d\n", name, labels, v)
-		}
-		emit("events_total", st.Events, "")
-		emit("reads_total", st.Reads, "")
-		emit("invalidations_total", st.Invalidations, "")
-		emit("segments_seen", st.SegmentsSeen, "")
-		emit("engine_runs_total", st.EngineRuns, "")
-		emit("placements_total", st.Placements, "")
-		emit("promotions_total", st.Promotions, "")
-		emit("demotions_total", st.Demotions, "")
-		emit("evictions_total", st.Evictions, "")
-		emit("remote_reads_total", st.RemoteReads, "")
-		emit("remote_serves_total", st.RemoteServes, "")
-		for _, ti := range tierInfos(srv) {
-			l := fmt.Sprintf("{tier=%q}", ti.Name)
-			emit("tier_capacity_bytes", ti.Capacity, l)
-			emit("tier_used_bytes", ti.Used, l)
-			emit("tier_segments", int64(ti.Segments), l)
-		}
+	if reg := srv.Telemetry(); reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	} else {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeLegacyMetrics(w, srv)
+		})
+	}
+	mux.HandleFunc("GET /spans", func(w http.ResponseWriter, r *http.Request) {
+		recs := srv.Telemetry().Spans().Recent()
+		writeJSON(w, spansReply{Spans: recs})
 	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeLegacyMetrics is the pre-telemetry coarse exposition: plain
+// counters from StatsReply and tier occupancy, no histograms.
+func writeLegacyMetrics(w http.ResponseWriter, srv *server.Server) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := statsReply(srv)
+	emit := func(name string, v int64, labels string) {
+		fmt.Fprintf(w, "hfetch_%s%s %d\n", name, labels, v)
+	}
+	emit("events_total", st.Events, "")
+	emit("reads_total", st.Reads, "")
+	emit("invalidations_total", st.Invalidations, "")
+	emit("segments_seen", st.SegmentsSeen, "")
+	emit("engine_runs_total", st.EngineRuns, "")
+	emit("placements_total", st.Placements, "")
+	emit("promotions_total", st.Promotions, "")
+	emit("demotions_total", st.Demotions, "")
+	emit("evictions_total", st.Evictions, "")
+	emit("remote_reads_total", st.RemoteReads, "")
+	emit("remote_serves_total", st.RemoteServes, "")
+	for _, ti := range tierInfos(srv) {
+		l := fmt.Sprintf("{tier=%q}", ti.Name)
+		emit("tier_capacity_bytes", ti.Capacity, l)
+		emit("tier_used_bytes", ti.Used, l)
+		emit("tier_segments", int64(ti.Segments), l)
+	}
 }
 
 func statsReply(srv *server.Server) StatsReply {
@@ -71,6 +96,7 @@ func statsReply(srv *server.Server) StatsReply {
 		Evictions:     ec.Evictions,
 		RemoteReads:   rr,
 		RemoteServes:  rs,
+		IO:            srv.IOStats().Snapshot(),
 	}
 }
 

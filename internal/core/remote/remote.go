@@ -17,16 +17,19 @@ import (
 	"hfetch/internal/events"
 	"hfetch/internal/metrics"
 	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
 )
 
 // Message types of the agent protocol.
 const (
-	MsgOpen  = "agent.open"
-	MsgRead  = "agent.read"
-	MsgWrite = "agent.write"
-	MsgClose = "agent.close"
-	MsgStats = "ctl.stats"
-	MsgTiers = "ctl.tiers"
+	MsgOpen    = "agent.open"
+	MsgRead    = "agent.read"
+	MsgWrite   = "agent.write"
+	MsgClose   = "agent.close"
+	MsgStats   = "ctl.stats"
+	MsgTiers   = "ctl.tiers"
+	MsgMetrics = "ctl.metrics"
+	MsgSpans   = "ctl.spans"
 )
 
 type openReq struct{ File string }
@@ -51,6 +54,10 @@ type writeReq struct {
 
 type closeReq struct{ File string }
 
+// spansReply wraps the sampled span list so an empty list still
+// round-trips through gob (a bare nil slice encodes to nothing).
+type spansReply struct{ Spans []telemetry.SpanRecord }
+
 // StatsReply is the ctl.stats payload.
 type StatsReply struct {
 	Node          string
@@ -65,6 +72,9 @@ type StatsReply struct {
 	Evictions     int64
 	RemoteReads   int64
 	RemoteServes  int64
+	// IO is the server-side read accounting (hits, misses, bytes,
+	// per-tier hit counts) across every agent the daemon serves.
+	IO metrics.IOSnapshot
 }
 
 // TierInfo is one tier's line in the ctl.tiers reply.
@@ -132,23 +142,21 @@ func Serve(mux *comm.Mux, srv *server.Server) {
 		return nil, nil
 	})
 	mux.Register(MsgStats, func(raw []byte) ([]byte, error) {
-		ac := srv.Auditor().Counters()
-		ec := srv.Engine().Counters()
-		rr, rs := srv.RemoteStats()
-		return enc(StatsReply{
-			Node:          srv.Node(),
-			Events:        ac.Events,
-			Reads:         ac.Reads,
-			Invalidations: ac.Invalidations,
-			SegmentsSeen:  ac.SegmentsSeen,
-			EngineRuns:    ec.Runs,
-			Placements:    ec.Placements,
-			Promotions:    ec.Promotions,
-			Demotions:     ec.Demotions,
-			Evictions:     ec.Evictions,
-			RemoteReads:   rr,
-			RemoteServes:  rs,
-		})
+		return enc(statsReply(srv))
+	})
+	mux.Register(MsgMetrics, func(raw []byte) ([]byte, error) {
+		var snap telemetry.Snapshot
+		if reg := srv.Telemetry(); reg != nil {
+			snap = reg.Snapshot()
+		}
+		return enc(snap)
+	})
+	mux.Register(MsgSpans, func(raw []byte) ([]byte, error) {
+		var recs []telemetry.SpanRecord
+		if reg := srv.Telemetry(); reg != nil {
+			recs = reg.Spans().Recent()
+		}
+		return enc(spansReply{Spans: recs})
 	})
 	mux.Register(MsgTiers, func(raw []byte) ([]byte, error) {
 		var out []TierInfo
@@ -254,6 +262,29 @@ func (c *Client) ServerStats() (StatsReply, error) {
 	var out StatsReply
 	err = dec(raw, &out)
 	return out, err
+}
+
+// Metrics queries the daemon's full telemetry snapshot. The snapshot is
+// empty (no series) when the daemon runs with telemetry disabled.
+func (c *Client) Metrics() (telemetry.Snapshot, error) {
+	raw, err := c.peer.Request(MsgMetrics, nil)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	var out telemetry.Snapshot
+	err = dec(raw, &out)
+	return out, err
+}
+
+// Spans queries the daemon's sampled pipeline spans, most recent first.
+func (c *Client) Spans() ([]telemetry.SpanRecord, error) {
+	raw, err := c.peer.Request(MsgSpans, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out spansReply
+	err = dec(raw, &out)
+	return out.Spans, err
 }
 
 // Tiers queries the daemon's tier occupancy.

@@ -26,7 +26,9 @@ import (
 	"hfetch/internal/core/seg"
 	"hfetch/internal/dhm"
 	"hfetch/internal/events"
+	"hfetch/internal/metrics"
 	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
 
@@ -61,6 +63,11 @@ type Config struct {
 	// score.Learned); one instance may be shared across the servers of a
 	// cluster so every node trains the same model.
 	Learner *score.Learned
+	// Telemetry, when non-nil, is the node's metric registry: the server
+	// wires it through the monitor, auditor, placement engine and I/O
+	// client, and instruments its own read path. Nil disables all
+	// instrumentation at ~zero hot-path cost.
+	Telemetry *telemetry.Registry
 }
 
 // Server is one node's HFetch server.
@@ -89,6 +96,16 @@ type Server struct {
 	sweepWG   sync.WaitGroup
 	swept     atomic.Int64
 
+	// Server-side I/O accounting: every ReadPrefetched outcome, local or
+	// on behalf of a remote agent.
+	iostats *metrics.IOStats
+
+	// Telemetry handles for the read hot path; nil when disabled.
+	tele     *telemetry.Registry
+	hitVec   *telemetry.CounterVec
+	missCtr  *telemetry.Counter
+	readHist *telemetry.HistVec
+
 	started bool
 }
 
@@ -111,6 +128,7 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 		Score:     cfg.Score,
 		SeqBoost:  cfg.SeqBoost,
 		Learner:   cfg.Learner,
+		Telemetry: cfg.Telemetry,
 	}
 	if cfg.HeatDir != "" {
 		hs, err := heatmap.NewStore(cfg.HeatDir)
@@ -121,14 +139,17 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 	}
 	aud := auditor.New(audCfg, stats, maps)
 	ioc := ioclient.New(fs, segr)
+	ioc.SetTelemetry(cfg.Telemetry)
+	cfg.Engine.Telemetry = cfg.Telemetry
 	eng := placement.New(cfg.Engine, hier, ioc, aud)
 	aud.SetSink(eng)
+	cfg.Monitor.Telemetry = cfg.Telemetry
 	mon := monitor.New(cfg.Monitor, aud, hier)
 	shared := make(map[string]bool, len(cfg.SharedTiers))
 	for _, n := range cfg.SharedTiers {
 		shared[n] = true
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		fs:       fs,
 		hier:     hier,
@@ -140,7 +161,27 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 		ioc:      ioc,
 		shared:   shared,
 		peers:    make(map[string]comm.Peer),
-	}, nil
+		iostats:  metrics.NewIOStats(),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		s.tele = reg
+		s.hitVec = reg.CounterVec("hfetch_tier_read_hits_total", "segment reads served from the tier", "tier")
+		s.missCtr = reg.Counter("hfetch_read_misses_total", "segment reads that fell back to the PFS")
+		s.readHist = reg.HistVec("hfetch_tier_read_nanos", "prefetched-read latency by serving tier in nanoseconds", "tier")
+		reg.CounterFunc("hfetch_remote_reads_total", "segment reads issued to peer nodes", s.remoteReads.Load)
+		reg.CounterFunc("hfetch_remote_serves_total", "segment reads served for peer nodes", s.remoteServes.Load)
+		reg.CounterFunc("hfetch_swept_records_total", "statistics records garbage-collected by the janitor", s.swept.Load)
+		reg.GaugeFunc("hfetch_watched_files", "files with an installed watch", func() int64 {
+			return int64(s.registry.Len())
+		})
+		for _, st := range hier.Stores() {
+			st := st
+			reg.GaugeFunc("hfetch_tier_capacity_bytes", "tier cache capacity", func() int64 { return st.Capacity() }, "tier", st.Name())
+			reg.GaugeFunc("hfetch_tier_used_bytes", "tier bytes resident", func() int64 { return st.Used() }, "tier", st.Name())
+			reg.GaugeFunc("hfetch_tier_segments", "segments resident in the tier", func() int64 { return int64(st.Len()) }, "tier", st.Name())
+		}
+	}
+	return s, nil
 }
 
 // NewLocalMaps returns fresh single-node stats and mapping hashmaps for
@@ -292,22 +333,38 @@ func (s *Server) ReadFromTier(tier string, id seg.ID, off int64, p []byte) (int,
 // a remote node's tier through the node-to-node communicator. ok is
 // false (and tier empty) when the caller must go to the PFS.
 func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier string, ok bool) {
+	var start time.Time
+	timed := s.tele.TimeSample()
+	if timed {
+		start = time.Now()
+	}
 	node, tier, ok := s.aud.Mapping(id)
 	if !ok {
+		s.miss(int64(len(p)))
 		return 0, "", false
 	}
 	if node == "" || node == s.cfg.Node || s.shared[tier] {
 		n, ok = s.ReadFromTier(tier, id, off, p)
-		if !ok {
-			return 0, "", false
-		}
-		return n, tier, true
+	} else {
+		n, ok = s.readRemote(node, tier, id, off, p)
 	}
-	n, ok = s.readRemote(node, tier, id, off, p)
 	if !ok {
+		s.miss(int64(len(p)))
 		return 0, "", false
 	}
+	s.iostats.Hit(tier, int64(n))
+	s.hitVec.With(tier).Inc()
+	if timed {
+		d := time.Since(start)
+		s.iostats.ObserveRead(d)
+		s.readHist.With(tier).Observe(int64(d))
+	}
 	return n, tier, true
+}
+
+func (s *Server) miss(nbytes int64) {
+	s.iostats.Miss(nbytes)
+	s.missCtr.Inc()
 }
 
 // ---- node-to-node data path ----
@@ -428,3 +485,10 @@ func (s *Server) IOClient() *ioclient.Client { return s.ioc }
 
 // Registry returns the watch registry.
 func (s *Server) Registry() *events.Registry { return s.registry }
+
+// Telemetry returns the node's metric registry (nil when disabled).
+func (s *Server) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
+
+// IOStats returns the server-side read accounting (hits, misses, bytes,
+// per-tier hit counts) for every ReadPrefetched call on this node.
+func (s *Server) IOStats() *metrics.IOStats { return s.iostats }

@@ -3,6 +3,9 @@ package events
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hfetch/internal/telemetry"
 )
 
 // Queue is the in-memory event queue hosted by the HFetch server's
@@ -25,6 +28,11 @@ type Queue struct {
 
 	posted  atomic.Int64
 	dropped atomic.Int64
+
+	// tele, when set, times each event's stay in the queue (the
+	// queue_wait pipeline stage); times holds per-slot enqueue stamps.
+	tele  *telemetry.Registry
+	times []int64
 }
 
 // NewQueue creates a queue with the given capacity (minimum 1). If drop
@@ -38,6 +46,25 @@ func NewQueue(capacity int, drop bool) *Queue {
 	q.notFull = sync.NewCond(&q.mu)
 	q.notEmpt = sync.NewCond(&q.mu)
 	return q
+}
+
+// SetTelemetry attaches a registry: the queue exports its depth and
+// posted/dropped totals and times sampled events' wait between Post and
+// dequeue as the queue_wait pipeline stage (see Registry.TimeSample).
+// Call before Start/Post traffic; a nil registry is ignored.
+func (q *Queue) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	q.mu.Lock()
+	q.tele = reg
+	if q.times == nil {
+		q.times = make([]int64, len(q.buf))
+	}
+	q.mu.Unlock()
+	reg.GaugeFunc("hfetch_event_queue_depth", "events currently queued", func() int64 { return int64(q.Len()) })
+	reg.CounterFunc("hfetch_events_posted_total", "events accepted into the queue", q.posted.Load)
+	reg.CounterFunc("hfetch_events_dropped_total", "events dropped on overflow (IN_Q_OVERFLOW)", q.dropped.Load)
 }
 
 // Post enqueues an event. It reports false when the event was dropped
@@ -56,12 +83,40 @@ func (q *Queue) Post(ev Event) bool {
 		q.dropped.Add(1)
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	slot := (q.head + q.n) % len(q.buf)
+	q.buf[slot] = ev
+	if q.times != nil {
+		var stamp int64
+		if q.tele.TimeSample() {
+			stamp = time.Now().UnixNano()
+		}
+		q.times[slot] = stamp
+	}
 	q.n++
 	q.notEmpt.Signal()
 	q.mu.Unlock()
 	q.posted.Add(1)
 	return true
+}
+
+// takeStamp clears and returns the enqueue stamp of slot; called with
+// q.mu held. Zero means telemetry is off or the slot predates it.
+func (q *Queue) takeStamp(slot int) int64 {
+	if q.times == nil {
+		return 0
+	}
+	enq := q.times[slot]
+	q.times[slot] = 0
+	return enq
+}
+
+// spanWait records the queue_wait span outside the queue lock.
+func (q *Queue) spanWait(ev Event, enq int64) {
+	if enq == 0 {
+		return
+	}
+	start := time.Unix(0, enq)
+	q.tele.Span(telemetry.StageQueueWait, ev.File, -1, ev.Tier, start, time.Since(start))
 }
 
 // Take dequeues one event, blocking until one is available or the queue
@@ -76,10 +131,12 @@ func (q *Queue) Take() (ev Event, ok bool) {
 		return Event{}, false
 	}
 	ev = q.buf[q.head]
+	enq := q.takeStamp(q.head)
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	q.notFull.Signal()
 	q.mu.Unlock()
+	q.spanWait(ev, enq)
 	return ev, true
 }
 
@@ -97,14 +154,24 @@ func (q *Queue) TakeBatch(dst []Event) (n int, ok bool) {
 		q.mu.Unlock()
 		return 0, false
 	}
+	var stamps []int64
+	if q.times != nil {
+		stamps = make([]int64, 0, len(dst))
+	}
 	for n < len(dst) && q.n > 0 {
 		dst[n] = q.buf[q.head]
+		if stamps != nil {
+			stamps = append(stamps, q.takeStamp(q.head))
+		}
 		q.head = (q.head + 1) % len(q.buf)
 		q.n--
 		n++
 	}
 	q.notFull.Broadcast()
 	q.mu.Unlock()
+	for i, enq := range stamps {
+		q.spanWait(dst[i], enq)
+	}
 	return n, true
 }
 

@@ -89,20 +89,70 @@ func (s *IOStats) Bytes() (int64, int64) {
 	return s.bytesHit.Load(), s.bytesMiss.Load()
 }
 
+// IOSnapshot is a point-in-time copy of an IOStats, taken under one
+// lock acquisition so exporters (the HTTP status API, the telemetry
+// registry, the agent protocol) stop reading counters piecemeal. It is
+// a plain value: gob- and json-encodable.
+type IOSnapshot struct {
+	Hits      int64
+	Misses    int64
+	Reads     int64
+	BytesHit  int64
+	BytesMiss int64
+	ReadNanos int64
+	TierHits  map[string]int64
+}
+
+// Snapshot captures all counters at once.
+func (s *IOStats) Snapshot() IOSnapshot {
+	snap := IOSnapshot{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Reads:     s.reads.Load(),
+		BytesHit:  s.bytesHit.Load(),
+		BytesMiss: s.bytesMiss.Load(),
+		ReadNanos: s.readNanos.Load(),
+	}
+	s.mu.Lock()
+	snap.TierHits = make(map[string]int64, len(s.tierHits))
+	for k, v := range s.tierHits {
+		snap.TierHits[k] = v
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// HitRatio returns hits/(hits+misses), or 0 when nothing was read.
+func (s IOSnapshot) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// TotalReadTime returns the summed read latency across all calls.
+func (s IOSnapshot) TotalReadTime() time.Duration {
+	return time.Duration(s.ReadNanos)
+}
+
 // String renders a one-line summary.
-func (s *IOStats) String() string {
-	tiers := s.TierHits()
-	names := make([]string, 0, len(tiers))
-	for n := range tiers {
+func (s IOSnapshot) String() string {
+	names := make([]string, 0, len(s.TierHits))
+	for n := range s.TierHits {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	per := ""
 	for _, n := range names {
-		per += fmt.Sprintf(" %s=%d", n, tiers[n])
+		per += fmt.Sprintf(" %s=%d", n, s.TierHits[n])
 	}
 	return fmt.Sprintf("hits=%d misses=%d ratio=%.1f%%%s",
-		s.Hits(), s.Misses(), s.HitRatio()*100, per)
+		s.Hits, s.Misses, s.HitRatio()*100, per)
+}
+
+// String renders a one-line summary.
+func (s *IOStats) String() string {
+	return s.Snapshot().String()
 }
 
 // Timer measures wall-clock intervals with repeat support.

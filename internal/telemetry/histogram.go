@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Bucket b
+// holds observations whose bit length is b, i.e. values in
+// [2^(b-1), 2^b - 1] (bucket 0 holds exactly 0). 48 buckets cover
+// nanosecond latencies up to ~39 hours and byte sizes up to 128 TiB,
+// with a worst-case relative quantile error of 2x.
+const NumBuckets = 48
+
+// Histogram is a log2-bucketed distribution of int64 observations
+// (typically nanoseconds or bytes). The record path is lock-free: one
+// atomic add on the bucket, count and sum, plus a CAS loop for the max.
+// All methods are safe on a nil receiver, so instrumentation handles can
+// stay nil when telemetry is disabled and cost a single branch.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound of bucket b.
+func bucketUpper(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (int64(1) << uint(b)) - 1
+}
+
+// bucketLower is the inclusive lower bound of bucket b.
+func bucketLower(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64(1) << uint(b-1)
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot returns a consistent-enough copy for reporting: bucket counts
+// are read individually, so a snapshot taken under concurrent writes may
+// be off by the handful of observations in flight, never corrupt.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, mergeable across
+// nodes and gob-encodable for the agent protocol.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [NumBuckets]int64
+}
+
+// Merge adds o's observations into s (cluster-wide aggregation).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank. The estimate
+// is exact to within the bucket's bounds (a factor of 2).
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count-1)
+	var seen int64
+	for b := 0; b < NumBuckets; b++ {
+		n := s.Buckets[b]
+		if n == 0 {
+			continue
+		}
+		if float64(seen+n) > rank {
+			lo, hi := bucketLower(b), bucketUpper(b)
+			if hi > s.Max {
+				hi = s.Max
+			}
+			if hi < lo {
+				return lo
+			}
+			// Position of the rank within this bucket, 0..1.
+			frac := (rank - float64(seen)) / float64(n)
+			return lo + int64(math.Round(frac*float64(hi-lo)))
+		}
+		seen += n
+	}
+	return s.Max
+}

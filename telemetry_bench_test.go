@@ -1,0 +1,65 @@
+package hfetch_test
+
+import (
+	"testing"
+
+	"hfetch"
+)
+
+// benchCluster boots a single free-device node and returns an open file
+// spanning many segments, so ReadAt cost is dominated by the prefetcher
+// code path rather than modeled device time.
+func benchCluster(b *testing.B, enableTelemetry bool) *hfetch.File {
+	b.Helper()
+	cfg := hfetch.DefaultConfig()
+	cfg.SegmentSize = 4096
+	cfg.EngineUpdateThreshold = hfetch.ReactivenessHigh
+	for i := range cfg.Tiers {
+		cfg.Tiers[i].Latency = 0
+		cfg.Tiers[i].Bandwidth = 0
+	}
+	cfg.PFS = hfetch.PFSSpec{}
+	cfg.EnableTelemetry = enableTelemetry
+	cluster, err := hfetch.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Stop)
+	const segs = 256
+	if err := cluster.CreateFile("bench/t", segs*4096); err != nil {
+		b.Fatal(err)
+	}
+	f, err := cluster.Node(0).NewClient().Open("bench/t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	return f
+}
+
+// BenchmarkTelemetryOverhead compares the client read path with the
+// metric registry attached against the nil-registry build. The contract
+// the telemetry package makes — disabled instrumentation is a pointer
+// check, enabled instrumentation is a handful of atomics — means the
+// two sub-benchmarks should land within a few percent of each other.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		enabled bool
+	}{
+		{"disabled", false},
+		{"enabled", true},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			f := benchCluster(b, bench.enabled)
+			buf := make([]byte, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := int64(i%256) * 4096
+				if _, err := f.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package hfetch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterTelemetry covers the embedded-cluster observability path:
+// per-node registries, agent wiring, and the merged cluster snapshot.
+func TestClusterTelemetry(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.EnableTelemetry = true
+	cfg.SpanSampleEvery = 1
+	cfg.TimeSampleEvery = 1
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if err := cluster.CreateFile("data/t", 64*4096); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cluster.Nodes(); i++ {
+		if cluster.Node(i).Telemetry() == nil {
+			t.Fatalf("node %d has no registry despite EnableTelemetry", i)
+		}
+		client := cluster.Node(i).NewClient()
+		f, err := client.Open("data/t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		if _, err := f.ReadAt(buf, int64(i)*4096); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	snap, ok := cluster.TelemetrySnapshot()
+	if !ok {
+		t.Fatal("TelemetrySnapshot reported no telemetry")
+	}
+	var sb strings.Builder
+	snap.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"hfetch_events_posted_total",
+		`hfetch_tier_read_nanos_count{tier="pfs"}`,
+		`hfetch_pipeline_stage_nanos_bucket{stage="client_read"`,
+		`hfetch_tier_capacity_bytes{tier="ram"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged snapshot missing %q:\n%s", want, text)
+		}
+	}
+	// Two nodes posted read events; the merge must sum both registries.
+	var posted int64
+	for _, m := range snap.Metrics {
+		if m.Name == "hfetch_events_posted_total" {
+			posted += m.Value
+		}
+	}
+	if posted < 2 {
+		t.Fatalf("merged events_posted_total = %d, want >= 2", posted)
+	}
+
+	if spans := cluster.Node(0).Telemetry().Spans().Recent(); len(spans) == 0 {
+		t.Fatal("span log empty despite SpanSampleEvery=1")
+	}
+}
+
+// TestClusterTelemetryDisabled pins the default-off contract.
+func TestClusterTelemetryDisabled(t *testing.T) {
+	cluster, err := NewCluster(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if cluster.Node(0).Telemetry() != nil {
+		t.Fatal("telemetry registry allocated without EnableTelemetry")
+	}
+	if _, ok := cluster.TelemetrySnapshot(); ok {
+		t.Fatal("TelemetrySnapshot must report ok=false when disabled")
+	}
+}
