@@ -1,0 +1,127 @@
+// Command hfetchbench runs the reproducible wall-clock benchmark suite:
+// weak- and strong-scaling event-drain workloads against the sharded and
+// legacy pipelines, plus an application-read pass for the hit ratio, and
+// writes the schema-versioned report to BENCH_<rev>.json.
+//
+// Usage:
+//
+//	hfetchbench [-short] [-out file] [-clients 320,640,...]
+//	            [-min-speedup 1.0] [-quiet]
+//	hfetchbench -validate BENCH_abc1234.json
+//
+// -min-speedup N exits non-zero when any sharded/legacy throughput
+// comparison falls below N (the CI smoke job uses 1.0: sharded must not
+// regress below the legacy path). -validate checks an existing report
+// against the schema and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"hfetch/internal/bench"
+)
+
+func main() {
+	short := flag.Bool("short", false, "shrink scales for a CI smoke run")
+	out := flag.String("out", "", "output path (default BENCH_<rev>.json)")
+	rev := flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
+	clientsFlag := flag.String("clients", "", "comma-separated client counts (default 320,640,1280,2560; 64,128 short)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail when any sharded/legacy speedup is below this (0 disables)")
+	validate := flag.String("validate", "", "validate an existing report file and exit")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *validate != "" {
+		raw, err := os.ReadFile(*validate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if errs := bench.Validate(raw); len(errs) != 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "hfetchbench: %s: %v\n", *validate, e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema version %d)\n", *validate, bench.SchemaVersion)
+		return
+	}
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	opts := bench.Options{Short: *short, Rev: *rev, Now: time.Now()}
+	if *clientsFlag != "" {
+		for _, part := range strings.Split(*clientsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fatalf("bad -clients value %q", part)
+			}
+			opts.Clients = append(opts.Clients, n)
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	rep, err := bench.Run(opts, logf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if errs := bench.Validate(raw); len(errs) != 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "hfetchbench: self-check: %v\n", e)
+		}
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Rev)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("wrote %s (%d drain points, min speedup %.2fx", path, len(rep.Drain), rep.MinSpeedup())
+	if rep.Reads != nil {
+		fmt.Printf(", hit ratio %.3f", rep.Reads.HitRatio)
+	}
+	fmt.Println(")")
+	for _, c := range rep.Comparisons {
+		fmt.Printf("  %-6s %4d clients: sharded %10.0f ev/s  legacy %10.0f ev/s  %.2fx\n",
+			c.Mode, c.Clients, c.ShardedEPS, c.LegacyEPS, c.Speedup)
+	}
+
+	if *minSpeedup > 0 && rep.MinSpeedup() < *minSpeedup {
+		fatalf("sharded pipeline regressed: min speedup %.2fx < required %.2fx",
+			rep.MinSpeedup(), *minSpeedup)
+	}
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hfetchbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -181,6 +181,10 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 		scfg.Telemetry = reg
 	}
 	scfg.Monitor.Daemons = cfg.Daemons
+	scfg.Monitor.Shards = cfg.EventShards
+	scfg.Monitor.WorkersPerShard = cfg.WorkersPerShard
+	scfg.Monitor.QueueCap = cfg.EventQueueCap
+	scfg.Monitor.Drop = cfg.DropEvents()
 	scfg.Engine = placement.Config{
 		Interval:        cfg.EngineInterval(),
 		UpdateThreshold: cfg.EngineUpdateThreshold,

@@ -57,8 +57,22 @@ type Config struct {
 	SeqBoost float64
 	// HeatDir enables heatmap persistence when non-empty.
 	HeatDir string
-	// DaemonThreads is the hardware monitor pool size per server.
+	// DaemonThreads is the hardware monitor pool size per server for the
+	// legacy single-queue pipeline; ignored when EventShards > 1.
 	DaemonThreads int
+	// EventShards selects the monitor's event pipeline: > 1 hashes
+	// events by file onto that many independent rings (one worker each,
+	// preserving per-file event order); <= 1 keeps the single
+	// mutex-guarded queue drained by DaemonThreads workers. Default 1
+	// (legacy), so existing callers are unchanged; cmd/hfetchd defaults
+	// to 8.
+	EventShards int
+	// WorkersPerShard is the worker count per event shard (default 1;
+	// values > 1 trade per-file ordering for intra-shard parallelism).
+	WorkersPerShard int
+	// DropEvents selects the queue overflow policy: false (default)
+	// blocks producers, true drops events when the target ring is full.
+	DropEvents bool
 	// EngineThreads is the placement engine worker count per server.
 	EngineThreads int
 	// EngineInterval is placement trigger (a) (default 1s).
@@ -237,6 +251,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			srvCfg.Telemetry = reg
 		}
 		srvCfg.Monitor.Daemons = cfg.DaemonThreads
+		srvCfg.Monitor.Shards = cfg.EventShards
+		srvCfg.Monitor.WorkersPerShard = cfg.WorkersPerShard
+		srvCfg.Monitor.Drop = cfg.DropEvents
 		srvCfg.Engine = placement.Config{
 			Interval:        cfg.EngineInterval,
 			UpdateThreshold: cfg.EngineUpdateThreshold,

@@ -1,0 +1,381 @@
+// Package bench is the reproducible benchmark harness behind
+// cmd/hfetchbench. It measures the event pipeline (monitor → auditor →
+// placement) of both pipeline variants — the sharded rings and the
+// legacy single queue — under weak- and strong-scaling client herds,
+// plus an application-read scenario for the end-to-end hit ratio, and
+// assembles the results into the schema-versioned report written to
+// BENCH_<rev>.json (see BENCHMARKS.md for the schema and baselines).
+//
+// Unlike internal/harness, which reproduces the paper's figures in
+// modeled device time, bench measures the *implementation*: wall-clock
+// event throughput and pipeline-stage latencies of this repository's hot
+// path, so regressions in the code (not the model) show up.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hfetch"
+	"hfetch/internal/events"
+	"hfetch/internal/telemetry"
+)
+
+// Options configures a benchmark run.
+type Options struct {
+	// Short shrinks every scale for CI smoke runs (a few seconds total).
+	Short bool
+	// Clients are the herd sizes to sweep. Defaults to 320..2560
+	// (doubling), or 64/128 when Short.
+	Clients []int
+	// EventsPerClient is the weak-scaling load (default 200).
+	EventsPerClient int
+	// TotalEvents is the strong-scaling load, split across the herd
+	// (default 262144; 65536 short).
+	TotalEvents int
+	// Reps is the repetition count per drain point; the best (highest
+	// throughput) repetition is reported, which damps scheduler noise on
+	// small machines (default 3; 2 short).
+	Reps int
+	// Shards is the sharded pipeline's ring count (default 8).
+	Shards int
+	// Files is the number of distinct files the herd touches
+	// (default 256; 64 short).
+	Files int
+	// Rev labels the report (git revision; "dev" when unknown).
+	Rev string
+	// Now stamps the report; zero means "caller fills it in".
+	Now time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Clients) == 0 {
+		if o.Short {
+			o.Clients = []int{64, 128}
+		} else {
+			o.Clients = []int{320, 640, 1280, 2560}
+		}
+	}
+	if o.EventsPerClient <= 0 {
+		o.EventsPerClient = 200
+	}
+	if o.TotalEvents <= 0 {
+		if o.Short {
+			o.TotalEvents = 65536
+		} else {
+			o.TotalEvents = 262144
+		}
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.Files <= 0 {
+		if o.Short {
+			o.Files = 64
+		} else {
+			o.Files = 256
+		}
+	}
+	if o.Reps <= 0 {
+		if o.Short {
+			o.Reps = 2
+		} else {
+			o.Reps = 3
+		}
+	}
+	if o.Rev == "" {
+		o.Rev = "dev"
+	}
+	return o
+}
+
+// benchSegSize keeps the drain scenario's segment grain small so scores
+// spread over many segments without large synthetic files.
+const benchSegSize = 64 << 10
+
+// benchSegsPerFile bounds each file's segment count (offsets wrap).
+const benchSegsPerFile = 32
+
+// Run executes the full suite and returns the report. Progress lines go
+// through logf when non-nil.
+func Run(o Options, logf func(format string, args ...any)) (Report, error) {
+	o = o.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		Rev:           o.Rev,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Short:         o.Short,
+	}
+	if !o.Now.IsZero() {
+		rep.Timestamp = o.Now.UTC().Format(time.RFC3339)
+	}
+
+	type variant struct {
+		name    string
+		shards  int
+		workers int
+		daemons int
+	}
+	// The legacy pool gets the same worker count as the sharded pipeline
+	// so the comparison isolates the queue structure, not parallelism.
+	variants := []variant{
+		{name: "sharded", shards: o.Shards, workers: 1},
+		{name: "legacy", shards: 1, daemons: o.Shards},
+	}
+
+	for _, mode := range []string{"weak", "strong"} {
+		for _, clients := range o.Clients {
+			perClient := o.EventsPerClient
+			if mode == "strong" {
+				perClient = o.TotalEvents / clients
+				if perClient < 1 {
+					perClient = 1
+				}
+			}
+			var eps [2]float64
+			for vi, v := range variants {
+				// Best-of-Reps: on small or shared machines a single drain's
+				// throughput swings with scheduler luck; the fastest rep is
+				// the least-perturbed measurement of the pipeline itself.
+				var best DrainResult
+				for r := 0; r < o.Reps; r++ {
+					res, err := runDrain(v.name, v.shards, v.workers, v.daemons,
+						mode, clients, perClient, o.Files)
+					if err != nil {
+						return rep, fmt.Errorf("drain %s/%s/%d clients: %w", v.name, mode, clients, err)
+					}
+					if res.EventsPerSec > best.EventsPerSec {
+						best = res
+					}
+				}
+				logf("drain %-7s %-6s %4d clients: %10.0f events/s (%.3fs, best of %d)",
+					v.name, mode, clients, best.EventsPerSec, best.Seconds, o.Reps)
+				rep.Drain = append(rep.Drain, best)
+				eps[vi] = best.EventsPerSec
+			}
+			rep.Comparisons = append(rep.Comparisons, Comparison{
+				Mode: mode, Clients: clients,
+				ShardedEPS: eps[0], LegacyEPS: eps[1],
+				Speedup: eps[0] / eps[1],
+			})
+		}
+	}
+
+	reads, err := runReads(o)
+	if err != nil {
+		return rep, fmt.Errorf("reads: %w", err)
+	}
+	logf("reads  %d clients: hit ratio %.3f over %d segment reads",
+		reads.Clients, reads.HitRatio, reads.SegmentsRead)
+	rep.Reads = &reads
+	return rep, nil
+}
+
+// drainConfig builds a single-node cluster whose modeled devices are
+// near-free, so the measurement is the event pipeline's software cost,
+// not devsim sleeps.
+func drainConfig(shards, workers, daemons int) hfetch.Config {
+	fast := func(name string, capacity int64, sharedT bool) hfetch.TierSpec {
+		return hfetch.TierSpec{
+			Name: name, Capacity: capacity,
+			Latency: time.Nanosecond, Bandwidth: 1 << 40, Channels: 8,
+			Shared: sharedT,
+		}
+	}
+	return hfetch.Config{
+		Nodes:           1,
+		SegmentSize:     benchSegSize,
+		EventShards:     shards,
+		WorkersPerShard: workers,
+		DaemonThreads:   daemons,
+		EnableTelemetry: true,
+		TimeSampleEvery: 8,
+		// Low reactiveness: the engine still runs (its decision passes are
+		// measured as the place stage) but its background data movement is
+		// kept off the single-CPU drain path enough for the queue/audit
+		// cost difference between pipelines to be the dominant signal.
+		// 8192 ≈ one pass per few shard-ring drain cycles.
+		EngineInterval:        250 * time.Millisecond,
+		EngineUpdateThreshold: 8192,
+		Tiers: []hfetch.TierSpec{
+			fast("ram", 1<<20, false),
+			fast("nvme", 2<<20, false),
+			fast("bb", 4<<20, true),
+		},
+		PFS: hfetch.PFSSpec{Latency: time.Nanosecond, Bandwidth: 1 << 40, Servers: 8},
+	}
+}
+
+// runDrain posts clients×perClient read events straight into the
+// monitor from `clients` goroutines and times how long the pipeline
+// takes to drain them all.
+func runDrain(pipeline string, shards, workers, daemons int, mode string, clients, perClient, files int) (DrainResult, error) {
+	cluster, err := hfetch.NewCluster(drainConfig(shards, workers, daemons))
+	if err != nil {
+		return DrainResult{}, err
+	}
+	defer cluster.Stop()
+
+	srv := cluster.Node(0).Server()
+	fileSize := int64(benchSegsPerFile * benchSegSize)
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("/bench/drain-%04d.dat", i)
+		if err := cluster.CreateFile(names[i], fileSize); err != nil {
+			return DrainResult{}, err
+		}
+		srv.Auditor().StartEpoch(names[i], fileSize)
+	}
+
+	mon := srv.Monitor()
+	total := int64(clients) * int64(perClient)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			file := names[id%files]
+			// Mostly-sequential walk through the file, wrapping, starting
+			// at a per-client offset so co-tenants of a file interleave.
+			segIdx := int64(id / files % benchSegsPerFile)
+			for i := 0; i < perClient; i++ {
+				mon.Post(events.Event{
+					Op:     events.OpRead,
+					File:   file,
+					Offset: segIdx * benchSegSize,
+					Length: benchSegSize,
+				})
+				segIdx = (segIdx + 1) % benchSegsPerFile
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Producers are done; wait for the workers to drain the rings.
+	for mon.Consumed() < total {
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+
+	res := DrainResult{
+		Pipeline: pipeline, Mode: mode, Clients: clients,
+		Shards: shards, WorkersPerShard: workers, Daemons: daemons,
+		Events:       total,
+		Seconds:      elapsed.Seconds(),
+		EventsPerSec: float64(total) / elapsed.Seconds(),
+		Stages:       stageLats(cluster.Node(0).Telemetry(), telemetry.StageQueueWait, telemetry.StageAudit, telemetry.StagePlace),
+	}
+	return res, nil
+}
+
+// runReads measures the end-to-end hit ratio: each client reads its file
+// sequentially twice through the agent; the second pass should be served
+// from the hierarchy.
+func runReads(o Options) (ReadResult, error) {
+	clients := 8
+	segs := int64(24)
+	if o.Short {
+		clients, segs = 4, 12
+	}
+	// Unlike the drain scenario, the working set must fit the hierarchy:
+	// the measurement is whether pass two is served from the tiers, not
+	// how eviction behaves under pressure.
+	cfg := drainConfig(o.Shards, 1, 0)
+	need := int64(clients) * segs * benchSegSize
+	for i := range cfg.Tiers {
+		cfg.Tiers[i].Capacity = need << uint(i)
+	}
+	cluster, err := hfetch.NewCluster(cfg)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	defer cluster.Stop()
+
+	node := cluster.Node(0)
+	fileSize := segs * benchSegSize
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	var totalReads int64
+	var mu sync.Mutex
+	var hits, misses int64
+	for c := 0; c < clients; c++ {
+		name := fmt.Sprintf("/bench/read-%02d.dat", c)
+		if err := cluster.CreateFile(name, fileSize); err != nil {
+			return ReadResult{}, err
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			cl := node.NewClient()
+			buf := make([]byte, benchSegSize)
+			for pass := 0; pass < 2; pass++ {
+				f, err := cl.Open(name)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for s := int64(0); s < segs; s++ {
+					if _, err := f.ReadAt(buf, s*benchSegSize); err != nil {
+						errCh <- fmt.Errorf("read %s seg %d: %w", name, s, err)
+						f.Close()
+						return
+					}
+				}
+				f.Close()
+				if pass == 0 {
+					// Let the pipeline place the first pass's segments
+					// before re-reading.
+					node.Flush()
+				}
+			}
+			st := cl.Stats()
+			mu.Lock()
+			hits += st.Hits()
+			misses += st.Misses()
+			totalReads += st.Reads()
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return ReadResult{}, err
+		}
+	}
+
+	res := ReadResult{
+		Clients:      clients,
+		SegmentsRead: totalReads,
+		Stages:       stageLats(node.Telemetry(), telemetry.StageFetch, telemetry.StageClientRead),
+	}
+	if hits+misses > 0 {
+		res.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	return res, nil
+}
+
+// stageLats summarizes the named pipeline stages' histograms in
+// microseconds.
+func stageLats(reg *telemetry.Registry, stages ...string) map[string]StageLat {
+	out := make(map[string]StageLat, len(stages))
+	for _, st := range stages {
+		s := reg.StageHist(st).Snapshot()
+		out[st] = StageLat{
+			P50us:  float64(s.Quantile(0.50)) / 1e3,
+			P99us:  float64(s.Quantile(0.99)) / 1e3,
+			Meanus: s.Mean() / 1e3,
+			Maxus:  float64(s.Max) / 1e3,
+			Count:  s.Count,
+		}
+	}
+	return out
+}

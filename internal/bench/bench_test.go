@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunShortProducesValidReport runs a miniature sweep end to end and
+// checks the emitted document against its own schema.
+func TestRunShortProducesValidReport(t *testing.T) {
+	rep, err := Run(Options{
+		Short:           true,
+		Clients:         []int{16, 32},
+		EventsPerClient: 20,
+		TotalEvents:     1024,
+		Files:           16,
+		Rev:             "test",
+		Now:             time.Unix(1_700_000_000, 0),
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Drain) != 8 { // 2 modes × 2 scales × 2 pipelines
+		t.Fatalf("drain results = %d, want 8", len(rep.Drain))
+	}
+	if len(rep.Comparisons) != 4 {
+		t.Fatalf("comparisons = %d, want 4", len(rep.Comparisons))
+	}
+	for _, c := range rep.Comparisons {
+		if c.Speedup <= 0 {
+			t.Fatalf("comparison %s/%d: non-positive speedup %v", c.Mode, c.Clients, c.Speedup)
+		}
+	}
+	if rep.Reads == nil {
+		t.Fatal("no read scenario result")
+	}
+	if rep.Reads.HitRatio <= 0 {
+		t.Fatalf("hit ratio %v, want > 0 (second pass should hit)", rep.Reads.HitRatio)
+	}
+	for _, d := range rep.Drain {
+		if d.Stages["audit"].Count == 0 {
+			t.Fatalf("drain %s/%s/%d: no audit-stage observations", d.Pipeline, d.Mode, d.Clients)
+		}
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Validate(raw); len(errs) != 0 {
+		t.Fatalf("self-emitted report fails validation: %v", errs)
+	}
+}
+
+func TestValidateRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"wrong version":   `{"schema_version": 99}`,
+		"empty":           `{}`,
+		"missing drain":   `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1}`,
+		"bad pipeline":    `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"weird"}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
+		"bad hit ratio":   `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"reads":{"hit_ratio":1.5}}`,
+		"zero throughput": `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"sharded","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":0,"stages":{}}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
+	}
+	for name, doc := range cases {
+		if errs := Validate([]byte(doc)); len(errs) == 0 {
+			t.Errorf("%s: expected validation errors, got none", name)
+		}
+	}
+}
+
+func TestMinSpeedup(t *testing.T) {
+	r := Report{Comparisons: []Comparison{{Speedup: 2.5}, {Speedup: 1.2}, {Speedup: 3.0}}}
+	if got := r.MinSpeedup(); got != 1.2 {
+		t.Fatalf("MinSpeedup = %v, want 1.2", got)
+	}
+	if got := (Report{}).MinSpeedup(); got != 0 {
+		t.Fatalf("empty MinSpeedup = %v, want 0", got)
+	}
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion is the version stamped into every report. Consumers of
+// BENCH_*.json must check it before interpreting fields; additions bump
+// the minor conventions in BENCHMARKS.md, incompatible changes bump this
+// number.
+const SchemaVersion = 1
+
+// StageLat summarizes one pipeline stage's latency histogram.
+type StageLat struct {
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	Meanus float64 `json:"mean_us"`
+	Maxus  float64 `json:"max_us"`
+	Count  int64   `json:"count"`
+}
+
+// DrainResult is one event-drain measurement: a client herd posting
+// events through the monitor→auditor→placement path of one pipeline
+// variant at one scale.
+type DrainResult struct {
+	// Pipeline is "sharded" or "legacy".
+	Pipeline string `json:"pipeline"`
+	// Mode is "weak" (events per client fixed) or "strong" (total fixed).
+	Mode            string  `json:"mode"`
+	Clients         int     `json:"clients"`
+	Shards          int     `json:"shards"`
+	WorkersPerShard int     `json:"workers_per_shard,omitempty"`
+	Daemons         int     `json:"daemons,omitempty"`
+	Events          int64   `json:"events"`
+	Seconds         float64 `json:"seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	// Stages maps pipeline stage names (queue_wait, audit, place) to
+	// their latency summaries, from the node's telemetry histograms.
+	Stages map[string]StageLat `json:"stages"`
+}
+
+// ReadResult is the application-read scenario: clients reading files
+// twice through the full prefetching stack; the second pass should hit.
+type ReadResult struct {
+	Clients      int                 `json:"clients"`
+	SegmentsRead int64               `json:"segments_read"`
+	HitRatio     float64             `json:"hit_ratio"`
+	Stages       map[string]StageLat `json:"stages"`
+}
+
+// Comparison pairs the sharded and legacy drain throughput at one scale.
+type Comparison struct {
+	Mode       string  `json:"mode"`
+	Clients    int     `json:"clients"`
+	ShardedEPS float64 `json:"sharded_eps"`
+	LegacyEPS  float64 `json:"legacy_eps"`
+	// Speedup is ShardedEPS / LegacyEPS.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the root document written to BENCH_<rev>.json.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Rev           string `json:"rev"`
+	Timestamp     string `json:"timestamp"` // RFC 3339
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	Short         bool   `json:"short"`
+
+	Drain       []DrainResult `json:"drain"`
+	Reads       *ReadResult   `json:"reads,omitempty"`
+	Comparisons []Comparison  `json:"comparisons"`
+}
+
+// Validate checks raw JSON against the report schema. It is
+// deliberately hand-rolled (no schema library in the module) and checks
+// structure, types, required fields and value ranges; it returns every
+// violation found, not just the first.
+func Validate(raw []byte) []error {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return []error{fmt.Errorf("not valid JSON: %w", err)}
+	}
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if v, ok := doc["schema_version"].(float64); !ok {
+		bad("schema_version: missing or not a number")
+	} else if int(v) != SchemaVersion {
+		bad("schema_version: got %d, want %d", int(v), SchemaVersion)
+	}
+	for _, key := range []string{"rev", "timestamp", "go_version"} {
+		if s, ok := doc[key].(string); !ok || s == "" {
+			bad("%s: missing or empty", key)
+		}
+	}
+	for _, key := range []string{"gomaxprocs", "num_cpu"} {
+		if v, ok := doc[key].(float64); !ok || v < 1 {
+			bad("%s: missing or < 1", key)
+		}
+	}
+
+	drain, ok := doc["drain"].([]any)
+	if !ok || len(drain) == 0 {
+		bad("drain: missing or empty")
+	}
+	pipelines := map[string]bool{}
+	for i, d := range drain {
+		m, ok := d.(map[string]any)
+		if !ok {
+			bad("drain[%d]: not an object", i)
+			continue
+		}
+		p, _ := m["pipeline"].(string)
+		if p != "sharded" && p != "legacy" {
+			bad("drain[%d].pipeline: got %q, want sharded|legacy", i, p)
+		}
+		pipelines[p] = true
+		if md, _ := m["mode"].(string); md != "weak" && md != "strong" {
+			bad("drain[%d].mode: got %q, want weak|strong", i, md)
+		}
+		for _, key := range []string{"clients", "events", "events_per_sec", "seconds"} {
+			if v, ok := m[key].(float64); !ok || v <= 0 {
+				bad("drain[%d].%s: missing or <= 0", i, key)
+			}
+		}
+		stages, ok := m["stages"].(map[string]any)
+		if !ok {
+			bad("drain[%d].stages: missing", i)
+			continue
+		}
+		for _, st := range []string{"queue_wait", "audit"} {
+			sm, ok := stages[st].(map[string]any)
+			if !ok {
+				bad("drain[%d].stages.%s: missing", i, st)
+				continue
+			}
+			for _, key := range []string{"p50_us", "p99_us", "mean_us", "count"} {
+				if v, ok := sm[key].(float64); !ok || v < 0 {
+					bad("drain[%d].stages.%s.%s: missing or < 0", i, st, key)
+				}
+			}
+		}
+	}
+	if len(drain) > 0 && (!pipelines["sharded"] || !pipelines["legacy"]) {
+		bad("drain: must cover both the sharded and legacy pipelines")
+	}
+
+	comps, ok := doc["comparisons"].([]any)
+	if !ok || len(comps) == 0 {
+		bad("comparisons: missing or empty")
+	}
+	for i, c := range comps {
+		m, ok := c.(map[string]any)
+		if !ok {
+			bad("comparisons[%d]: not an object", i)
+			continue
+		}
+		for _, key := range []string{"sharded_eps", "legacy_eps", "speedup"} {
+			if v, ok := m[key].(float64); !ok || v <= 0 {
+				bad("comparisons[%d].%s: missing or <= 0", i, key)
+			}
+		}
+	}
+
+	if r, present := doc["reads"]; present && r != nil {
+		m, ok := r.(map[string]any)
+		if !ok {
+			bad("reads: not an object")
+		} else if hr, ok := m["hit_ratio"].(float64); !ok || hr < 0 || hr > 1 {
+			bad("reads.hit_ratio: missing or outside [0,1]")
+		}
+	}
+	return errs
+}
+
+// MinSpeedup returns the smallest sharded/legacy speedup across the
+// report's comparisons (0 when there are none).
+func (r Report) MinSpeedup() float64 {
+	min := 0.0
+	for i, c := range r.Comparisons {
+		if i == 0 || c.Speedup < min {
+			min = c.Speedup
+		}
+	}
+	return min
+}

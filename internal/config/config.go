@@ -60,7 +60,25 @@ type Config struct {
 	HeatDir     string  `json:"heat_dir"`
 	WALPath     string  `json:"wal_path"`
 
-	Daemons               int `json:"daemons"`
+	// Daemons sizes the legacy single-queue daemon pool; it is ignored
+	// when EventShards > 1 (the sharded pipeline sizes itself from
+	// EventShards × WorkersPerShard).
+	Daemons int `json:"daemons"`
+	// EventShards selects the event pipeline: values > 1 hash events by
+	// file onto that many independent rings, each drained by its own
+	// worker(s); <= 1 keeps the single mutex-guarded queue. Default 8.
+	EventShards int `json:"event_shards"`
+	// WorkersPerShard is the worker count per event shard (default 1).
+	// One worker per shard preserves per-file event ordering.
+	WorkersPerShard int `json:"workers_per_shard"`
+	// PostingPolicy is the queue overflow policy: "block" (default)
+	// applies backpressure to producers, "drop" discards events when the
+	// target ring is full (inotify IN_Q_OVERFLOW).
+	PostingPolicy string `json:"posting_policy,omitempty"`
+	// EventQueueCap bounds the event queue (total across shards;
+	// default 65536).
+	EventQueueCap int `json:"event_queue_cap,omitempty"`
+
 	EngineWorkers         int `json:"engine_workers"`
 	EngineIntervalMS      int `json:"engine_interval_ms"`
 	EngineUpdateThreshold int `json:"engine_update_threshold"`
@@ -81,6 +99,9 @@ func Default() Config {
 		DecayUnitMS:           1000,
 		SeqBoost:              0.5,
 		Daemons:               4,
+		EventShards:           8,
+		WorkersPerShard:       1,
+		PostingPolicy:         "block",
 		EngineWorkers:         4,
 		EngineIntervalMS:      1000,
 		EngineUpdateThreshold: 100,
@@ -142,8 +163,20 @@ func (c Config) Validate() error {
 			return fmt.Errorf("config: file %d invalid (%q, %d bytes)", i, f.Name, f.Size)
 		}
 	}
+	switch c.PostingPolicy {
+	case "", "block", "drop":
+	default:
+		return fmt.Errorf("config: posting_policy must be \"block\" or \"drop\", got %q", c.PostingPolicy)
+	}
+	if c.EventQueueCap < 0 {
+		return fmt.Errorf("config: event_queue_cap must be >= 0, got %d", c.EventQueueCap)
+	}
 	return nil
 }
+
+// DropEvents reports whether the posting policy discards events on
+// overflow instead of blocking the producer.
+func (c Config) DropEvents() bool { return c.PostingPolicy == "drop" }
 
 // DecayUnit returns the decay step as a duration.
 func (c Config) DecayUnit() time.Duration {

@@ -15,7 +15,6 @@ package auditor
 import (
 	"encoding/binary"
 	"encoding/gob"
-	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -61,6 +60,16 @@ type Sink interface {
 	FileInvalidated(file string)
 }
 
+// BatchSink is optionally implemented by sinks that accept one delivery
+// per drained event batch instead of one call per score change. The
+// placement engine implements it: a batched delivery takes its pending
+// lock once per drain cycle rather than once per update, which is what
+// keeps shard workers from re-serializing on the engine after the event
+// queue has been sharded.
+type BatchSink interface {
+	ScoreBatch([]Update)
+}
+
 // Config configures an Auditor.
 type Config struct {
 	// Node is this node's cluster name, recorded in segment mappings so
@@ -103,6 +112,18 @@ type epochState struct {
 	lastIdx int64
 }
 
+// epochStripes is the lock-stripe count for the per-file epoch table.
+// Epoch state is touched by every read event, so it is striped by the
+// same file hash the sharded event queue routes on: a shard worker's
+// files cluster on a stable stripe subset and never contend with the
+// other shards' workers.
+const epochStripes = 64
+
+type epochStripe struct {
+	mu sync.Mutex
+	m  map[string]*epochState
+}
+
 // Auditor is safe for concurrent use; many monitor daemons call
 // HandleEvent in parallel.
 type Auditor struct {
@@ -113,8 +134,7 @@ type Auditor struct {
 
 	sink atomic.Pointer[sinkBox]
 
-	mu     sync.Mutex
-	epochs map[string]*epochState
+	epochs [epochStripes]epochStripe
 
 	ctr struct {
 		events, reads, writes, invalidations, segs atomic.Int64
@@ -140,11 +160,13 @@ func New(cfg Config, stats, maps *dhm.Map) *Auditor {
 		cfg.HeatDecay = 0.7
 	}
 	a := &Auditor{
-		cfg:    cfg,
-		model:  score.NewModel(cfg.Score),
-		stats:  stats,
-		maps:   maps,
-		epochs: make(map[string]*epochState),
+		cfg:   cfg,
+		model: score.NewModel(cfg.Score),
+		stats: stats,
+		maps:  maps,
+	}
+	for i := range a.epochs {
+		a.epochs[i].m = make(map[string]*epochState)
 	}
 	a.registerOps()
 	if reg := cfg.Telemetry; reg != nil {
@@ -153,12 +175,22 @@ func New(cfg Config, stats, maps *dhm.Map) *Auditor {
 		reg.CounterFunc("hfetch_invalidations_total", "write events invalidating prefetched data", a.ctr.invalidations.Load)
 		reg.CounterFunc("hfetch_segments_seen", "distinct segments with statistics", a.ctr.segs.Load)
 		reg.GaugeFunc("hfetch_open_epochs", "files inside a prefetching epoch", func() int64 {
-			a.mu.Lock()
-			defer a.mu.Unlock()
-			return int64(len(a.epochs))
+			var n int64
+			for i := range a.epochs {
+				st := &a.epochs[i]
+				st.mu.Lock()
+				n += int64(len(st.m))
+				st.mu.Unlock()
+			}
+			return n
 		})
 	}
 	return a
+}
+
+// epochStripeOf returns the stripe holding file's epoch state.
+func (a *Auditor) epochStripeOf(file string) *epochStripe {
+	return &a.epochs[int(events.HashOf(file)%uint64(epochStripes))]
 }
 
 // SetSink installs the placement engine; may be changed at runtime.
@@ -184,8 +216,19 @@ func (a *Auditor) Segmenter() *seg.Segmenter { return a.cfg.Segmenter }
 // Model returns the scoring model.
 func (a *Auditor) Model() *score.Model { return a.model }
 
-func statKey(id seg.ID) string { return fmt.Sprintf("s|%s|%d", id.File, id.Index) }
-func mapKey(id seg.ID) string  { return fmt.Sprintf("m|%s|%d", id.File, id.Index) }
+// statKey and mapKey build dhm keys without fmt: they run once per
+// segment per event on the drain hot path.
+func statKey(id seg.ID) string { return segKey('s', id) }
+func mapKey(id seg.ID) string  { return segKey('m', id) }
+
+func segKey(prefix byte, id seg.ID) string {
+	b := make([]byte, 0, len(id.File)+22)
+	b = append(b, prefix, '|')
+	b = append(b, id.File...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, id.Index, 10)
+	return string(b)
+}
 
 // ---- distributed mutators ----
 
@@ -261,18 +304,19 @@ func (a *Auditor) copyRec(cur any) *Rec {
 // opener triggers heatmap loading; the return value reports whether this
 // call opened the epoch (i.e. a watch should be installed).
 func (a *Auditor) StartEpoch(file string, size int64) bool {
-	a.mu.Lock()
-	es := a.epochs[file]
+	st := a.epochStripeOf(file)
+	st.mu.Lock()
+	es := st.m[file]
 	if es == nil {
 		es = &epochState{size: size, lastIdx: -1}
-		a.epochs[file] = es
+		st.m[file] = es
 	}
 	es.opens++
 	first := es.opens == 1
 	if size > es.size {
 		es.size = size
 	}
-	a.mu.Unlock()
+	st.mu.Unlock()
 	if first {
 		a.loadHeatmap(file, size)
 	}
@@ -283,10 +327,11 @@ func (a *Auditor) StartEpoch(file string, size int64) bool {
 // heatmap. The return value reports whether the epoch fully closed
 // (i.e. the watch should be removed).
 func (a *Auditor) EndEpoch(file string) bool {
-	a.mu.Lock()
-	es := a.epochs[file]
+	st := a.epochStripeOf(file)
+	st.mu.Lock()
+	es := st.m[file]
 	if es == nil {
-		a.mu.Unlock()
+		st.mu.Unlock()
 		return false
 	}
 	es.opens--
@@ -294,9 +339,9 @@ func (a *Auditor) EndEpoch(file string) bool {
 	var size int64
 	if last {
 		size = es.size
-		delete(a.epochs, file)
+		delete(st.m, file)
 	}
-	a.mu.Unlock()
+	st.mu.Unlock()
 	if last {
 		a.finishEpoch(file, size)
 	}
@@ -326,9 +371,10 @@ func (a *Auditor) finishEpoch(file string, size int64) {
 
 // EpochOpen reports whether file is inside a prefetching epoch.
 func (a *Auditor) EpochOpen(file string) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.epochs[file] != nil
+	st := a.epochStripeOf(file)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[file] != nil
 }
 
 func (a *Auditor) loadHeatmap(file string, size int64) {
@@ -400,6 +446,38 @@ func (a *Auditor) saveHeatmap(file string, size int64) {
 // HandleEvent processes one monitored event; called by the monitor's
 // daemon pool.
 func (a *Auditor) HandleEvent(ev events.Event) {
+	a.handleEvent(ev, a.emit)
+}
+
+// HandleBatch processes one drained batch (monitor.BatchHandler). When
+// the sink implements BatchSink, the batch's score updates are
+// accumulated locally and delivered in a single ScoreBatch call, so a
+// shard worker takes the engine's pending lock once per drain cycle
+// instead of once per score change.
+func (a *Auditor) HandleBatch(evs []events.Event) {
+	box := a.sink.Load()
+	var bs BatchSink
+	if box != nil {
+		bs, _ = box.s.(BatchSink)
+	}
+	if bs == nil {
+		for _, ev := range evs {
+			a.HandleEvent(ev)
+		}
+		return
+	}
+	ups := make([]Update, 0, len(evs))
+	for _, ev := range evs {
+		a.handleEvent(ev, func(u Update) { ups = append(ups, u) })
+	}
+	if len(ups) > 0 {
+		bs.ScoreBatch(ups)
+	}
+}
+
+// handleEvent audits one event, sending every score change to out (the
+// sink directly, or a batch accumulator).
+func (a *Auditor) handleEvent(ev events.Event, out func(Update)) {
 	a.ctr.events.Add(1)
 	var start time.Time
 	timed := a.cfg.Telemetry.TimeSample()
@@ -409,7 +487,7 @@ func (a *Auditor) HandleEvent(ev events.Event) {
 	switch ev.Op {
 	case events.OpRead:
 		a.ctr.reads.Add(1)
-		a.handleRead(ev)
+		a.handleRead(ev, out)
 	case events.OpWrite:
 		a.ctr.writes.Add(1)
 		a.handleWrite(ev)
@@ -426,13 +504,14 @@ func (a *Auditor) HandleEvent(ev events.Event) {
 	}
 }
 
-func (a *Auditor) handleRead(ev events.Event) {
+func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 	ids := a.cfg.Segmenter.Cover(ev.File, ev.Offset, ev.Length)
 	if len(ids) == 0 {
 		return
 	}
-	a.mu.Lock()
-	es := a.epochs[ev.File]
+	st := a.epochStripeOf(ev.File)
+	st.mu.Lock()
+	es := st.m[ev.File]
 	var prev int64 = -1
 	var fileSize int64
 	if es != nil {
@@ -440,7 +519,7 @@ func (a *Auditor) handleRead(ev events.Event) {
 		es.lastIdx = ids[len(ids)-1].Index
 		fileSize = es.size
 	}
-	a.mu.Unlock()
+	st.mu.Unlock()
 
 	ts := ev.Time
 	if ts.IsZero() {
@@ -466,12 +545,12 @@ func (a *Auditor) handleRead(ev events.Event) {
 		if a.cfg.Learner != nil {
 			sc = a.learnAndBlend(rec, ts, sc)
 		}
-		a.emit(Update{ID: id, Score: sc, Size: rec.Size})
+		out(Update{ID: id, Score: sc, Size: rec.Size})
 
 		// Sequencing readahead: boost the known successor of every
 		// accessed segment so it climbs the hierarchy ahead of its read.
 		if rec.Succ >= 0 && rec.Succ != id.Index && a.cfg.SeqBoost > 0 {
-			a.boost(seg.ID{File: id.File, Index: rec.Succ}, ts, fileSize)
+			a.boost(seg.ID{File: id.File, Index: rec.Succ}, ts, fileSize, out)
 		}
 	}
 
@@ -503,7 +582,7 @@ func (a *Auditor) learnLink(file string, prev, cur int64) {
 }
 
 // boost applies the anticipatory sequencing weight to id.
-func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64) {
+func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64, out func(Update)) {
 	arg := make([]byte, 16)
 	binary.BigEndian.PutUint64(arg[0:8], uint64(ts.UnixNano()))
 	binary.BigEndian.PutUint64(arg[8:16], math.Float64bits(a.cfg.SeqBoost))
@@ -519,7 +598,7 @@ func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64) {
 			size = a.cfg.Segmenter.Size()
 		}
 	}
-	a.emit(Update{ID: id, Score: a.model.Score(&rec.Stats, ts), Size: size})
+	out(Update{ID: id, Score: a.model.Score(&rec.Stats, ts), Size: size})
 }
 
 // learnAndBlend feeds the learner a positive example for the segment's
@@ -618,10 +697,7 @@ func (a *Auditor) Sweep(now time.Time, floor float64) int {
 	})
 	removed := 0
 	for _, v := range victims {
-		a.mu.Lock()
-		open := a.epochs[v.file] != nil
-		a.mu.Unlock()
-		if open {
+		if a.EpochOpen(v.file) {
 			continue
 		}
 		file, idx, _ := parseStatKey(v.key)

@@ -226,6 +226,31 @@ func (e *Engine) ScoreUpdated(u auditor.Update) {
 	}
 }
 
+// ScoreBatch implements auditor.BatchSink: one pending-lock acquisition
+// absorbs a whole drain cycle's score updates, so the sharded monitor's
+// workers do not re-serialize on the engine. Later updates of the same
+// segment within the batch win, exactly as they would arriving one by
+// one.
+func (e *Engine) ScoreBatch(ups []auditor.Update) {
+	if len(ups) == 0 {
+		return
+	}
+	e.ctr.updates.Add(int64(len(ups)))
+	e.mu.Lock()
+	for _, u := range ups {
+		e.pending[u.ID] = u
+	}
+	e.updateCount += len(ups)
+	fire := e.updateCount >= e.cfg.UpdateThreshold
+	e.mu.Unlock()
+	if fire {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // FileInvalidated implements auditor.Sink: a write to file makes every
 // prefetched segment of it stale.
 func (e *Engine) FileInvalidated(file string) {

@@ -272,7 +272,7 @@ func (s *Server) Stop() {
 // need determinism between phases.
 func (s *Server) Flush() {
 	deadline := time.Now().Add(5 * time.Second)
-	for s.mon.Queue().Len() > 0 && time.Now().Before(deadline) {
+	for s.mon.Backlog() > 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	s.eng.Flush()
@@ -298,7 +298,7 @@ func (s *Server) EndEpoch(file string) {
 	last := s.registry.RemoveWatch(file)
 	if last {
 		deadline := time.Now().Add(2 * time.Second)
-		for s.mon.Queue().Len() > 0 && time.Now().Before(deadline) {
+		for s.mon.Backlog() > 0 && time.Now().Before(deadline) {
 			time.Sleep(200 * time.Microsecond)
 		}
 		// Give in-flight daemon batches a beat to land.

@@ -26,6 +26,16 @@ type Queue struct {
 	closed  bool
 	drop    bool
 
+	// exactWake makes TakeBatch wake min(freed slots, blocked producers)
+	// instead of broadcasting to all of them. A shard of a ShardedQueue
+	// has one drainer and potentially thousands of blocked producers;
+	// broadcasting on every drained batch wakes the whole herd only for
+	// most of it to find the ring full again and go back to sleep.
+	exactWake bool
+	// prodWait counts producers blocked in Post (guarded by mu); it
+	// bounds the exact-wake signal count.
+	prodWait int
+
 	posted  atomic.Int64
 	dropped atomic.Int64
 
@@ -48,11 +58,32 @@ func NewQueue(capacity int, drop bool) *Queue {
 	return q
 }
 
+// newShardQueue is NewQueue with exact-wake draining, used for the rings
+// of a ShardedQueue (single drainer per ring).
+func newShardQueue(capacity int, drop bool) *Queue {
+	q := NewQueue(capacity, drop)
+	q.exactWake = true
+	return q
+}
+
 // SetTelemetry attaches a registry: the queue exports its depth and
 // posted/dropped totals and times sampled events' wait between Post and
 // dequeue as the queue_wait pipeline stage (see Registry.TimeSample).
 // Call before Start/Post traffic; a nil registry is ignored.
 func (q *Queue) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	q.AttachTelemetry(reg)
+	reg.GaugeFunc("hfetch_event_queue_depth", "events currently queued", func() int64 { return int64(q.Len()) })
+	reg.CounterFunc("hfetch_events_posted_total", "events accepted into the queue", q.posted.Load)
+	reg.CounterFunc("hfetch_events_dropped_total", "events dropped on overflow (IN_Q_OVERFLOW)", q.dropped.Load)
+}
+
+// AttachTelemetry enables queue-wait span timing without registering any
+// metric families. ShardedQueue uses it for its per-shard rings, which
+// share the registry-level metric names and must not re-register them.
+func (q *Queue) AttachTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
@@ -62,17 +93,23 @@ func (q *Queue) SetTelemetry(reg *telemetry.Registry) {
 		q.times = make([]int64, len(q.buf))
 	}
 	q.mu.Unlock()
-	reg.GaugeFunc("hfetch_event_queue_depth", "events currently queued", func() int64 { return int64(q.Len()) })
-	reg.CounterFunc("hfetch_events_posted_total", "events accepted into the queue", q.posted.Load)
-	reg.CounterFunc("hfetch_events_dropped_total", "events dropped on overflow (IN_Q_OVERFLOW)", q.dropped.Load)
 }
 
 // Post enqueues an event. It reports false when the event was dropped
 // (drop policy and queue full) or the queue is closed.
 func (q *Queue) Post(ev Event) bool {
+	return q.postRef(&ev)
+}
+
+// postRef is Post without the value copy at the call boundary; the
+// sharded router uses it so an event is copied once into the ring, not
+// once per call layer. ev is only read, never retained.
+func (q *Queue) postRef(ev *Event) bool {
 	q.mu.Lock()
 	for q.n == len(q.buf) && !q.closed && !q.drop {
+		q.prodWait++
 		q.notFull.Wait()
+		q.prodWait--
 	}
 	if q.closed {
 		q.mu.Unlock()
@@ -84,7 +121,7 @@ func (q *Queue) Post(ev Event) bool {
 		return false
 	}
 	slot := (q.head + q.n) % len(q.buf)
-	q.buf[slot] = ev
+	q.buf[slot] = *ev
 	if q.times != nil {
 		var stamp int64
 		if q.tele.TimeSample() {
@@ -167,7 +204,22 @@ func (q *Queue) TakeBatch(dst []Event) (n int, ok bool) {
 		q.n--
 		n++
 	}
-	q.notFull.Broadcast()
+	if q.exactWake {
+		// Wake min(freed slots, blocked producers): each admitted producer
+		// frees nothing, so no wake chain is needed beyond n. When every
+		// waiter gets a slot, one Broadcast beats n runtime calls.
+		if wake := q.prodWait; wake > 0 {
+			if wake <= n {
+				q.notFull.Broadcast()
+			} else {
+				for i := 0; i < n; i++ {
+					q.notFull.Signal()
+				}
+			}
+		}
+	} else {
+		q.notFull.Broadcast()
+	}
 	q.mu.Unlock()
 	for i, enq := range stamps {
 		q.spanWait(dst[i], enq)
