@@ -6,13 +6,16 @@
 // Usage:
 //
 //	hfetchbench [-short] [-out file] [-clients 320,640,...]
-//	            [-min-speedup 1.0] [-quiet]
+//	            [-min-speedup 1.0] [-min-decision-speedup 1.0] [-quiet]
 //	hfetchbench -validate BENCH_abc1234.json
 //
 // -min-speedup N exits non-zero when any sharded/legacy throughput
 // comparison falls below N (the CI smoke job uses 1.0: sharded must not
-// regress below the legacy path). -validate checks an existing report
-// against the schema and exits.
+// regress below the legacy path). -min-decision-speedup N does the same
+// for the movement scenario's sync/async decision-pass p99 ratio: below
+// N means the async mover no longer returns decision passes faster than
+// inline execution. -validate checks an existing report against the
+// schema and exits.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	rev := flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
 	clientsFlag := flag.String("clients", "", "comma-separated client counts (default 320,640,1280,2560; 64,128 short)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail when any sharded/legacy speedup is below this (0 disables)")
+	minDecision := flag.Float64("min-decision-speedup", 0, "fail when the movement scenario's sync/async decision-pass p99 ratio is below this (0 disables)")
 	validate := flag.String("validate", "", "validate an existing report file and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
@@ -106,10 +110,25 @@ func main() {
 		fmt.Printf("  %-6s %4d clients: sharded %10.0f ev/s  legacy %10.0f ev/s  %.2fx\n",
 			c.Mode, c.Clients, c.ShardedEPS, c.LegacyEPS, c.Speedup)
 	}
+	if rep.Movement != nil {
+		m := rep.Movement
+		fmt.Printf("  movement: decide p99 sync %.0fµs vs async %.1fµs (%.1fx), hit ratio sync %.3f async %.3f\n",
+			m.Sync.Decide.P99us, m.Async.Decide.P99us, m.DecisionSpeedup,
+			m.Sync.HitRatio, m.Async.HitRatio)
+	}
 
 	if *minSpeedup > 0 && rep.MinSpeedup() < *minSpeedup {
 		fatalf("sharded pipeline regressed: min speedup %.2fx < required %.2fx",
 			rep.MinSpeedup(), *minSpeedup)
+	}
+	if *minDecision > 0 {
+		if rep.Movement == nil {
+			fatalf("-min-decision-speedup set but the report has no movement scenario")
+		}
+		if rep.Movement.DecisionSpeedup < *minDecision {
+			fatalf("async mover regressed: decision speedup %.2fx < required %.2fx",
+				rep.Movement.DecisionSpeedup, *minDecision)
+		}
 	}
 }
 

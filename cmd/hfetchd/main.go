@@ -41,6 +41,10 @@ func main() {
 	cfgPath := flag.String("config", "", "path to the JSON configuration (defaults built in)")
 	listen := flag.String("listen", "", "override the listen address")
 	writeDefault := flag.String("write-default", "", "write the default configuration to this path and exit")
+	asyncMover := flag.Bool("async-mover", true, "decouple placement decisions from move execution (async mover pipeline)")
+	moverQueueDepth := flag.Int("mover-queue-depth", 0, "override the per-tier mover queue bound (0 = config/default 256)")
+	fetchCoalesce := flag.Bool("fetch-coalesce", true, "merge adjacent queued PFS fetches into one origin read")
+	fetchWaitMS := flag.Float64("fetch-wait-ms", -1, "bounded read wait for an in-flight fetch in ms (-1 = config/default 2)")
 	flag.Parse()
 
 	if *writeDefault != "" {
@@ -61,6 +65,24 @@ func main() {
 	}
 	if *listen != "" {
 		cfg.Listen = *listen
+	}
+	// Flags override the file only when set on the command line, so a
+	// config file's async_mover / fetch_coalesce choices survive bare
+	// invocations.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "async-mover":
+			cfg.AsyncMover = *asyncMover
+		case "mover-queue-depth":
+			cfg.MoverQueueDepth = *moverQueueDepth
+		case "fetch-coalesce":
+			cfg.FetchCoalesce = *fetchCoalesce
+		case "fetch-wait-ms":
+			cfg.FetchWaitMS = *fetchWaitMS
+		}
+	})
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("hfetchd: %v", err)
 	}
 
 	srv, fs, err := build(cfg)
@@ -186,10 +208,15 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 	scfg.Monitor.QueueCap = cfg.EventQueueCap
 	scfg.Monitor.Drop = cfg.DropEvents()
 	scfg.Engine = placement.Config{
-		Interval:        cfg.EngineInterval(),
-		UpdateThreshold: cfg.EngineUpdateThreshold,
-		Workers:         cfg.EngineWorkers,
+		Interval:         cfg.EngineInterval(),
+		UpdateThreshold:  cfg.EngineUpdateThreshold,
+		Workers:          cfg.EngineWorkers,
+		Async:            cfg.AsyncMover,
+		MoverConcurrency: cfg.MoverConcurrency,
+		MoverQueueDepth:  cfg.MoverQueueDepth,
+		FetchCoalesce:    cfg.FetchCoalesce,
 	}
+	scfg.FetchWait = cfg.FetchWait()
 	srv, err := server.New(scfg, fs, tiers.NewHierarchy(stores...), stats, maps)
 	if err != nil {
 		return nil, nil, err

@@ -80,6 +80,24 @@ type Config struct {
 	// EngineUpdateThreshold is placement trigger (b); use
 	// ReactivenessHigh/Medium/Low (default Medium = 100).
 	EngineUpdateThreshold int
+	// AsyncMover decouples placement decisions from move execution: the
+	// engine commits its residency model and returns, while a persistent
+	// per-tier mover pipeline executes the device transfers. Off by
+	// default in the library (existing callers keep the synchronous
+	// engine); cmd/hfetchd defaults to on.
+	AsyncMover bool
+	// MoverConcurrency is the async mover's per-tier worker count,
+	// fastest tier first (missing entries use max(2, 8>>tier)).
+	MoverConcurrency []int
+	// MoverQueueDepth bounds each per-tier mover queue (default 256).
+	MoverQueueDepth int
+	// FetchCoalesce merges adjacent queued PFS fetches of one file into
+	// a single origin read (async mover only).
+	FetchCoalesce bool
+	// FetchWait bounds how long a missing read waits for an in-flight
+	// mover fetch of the same segment before falling back to the PFS
+	// (async mover only; zero disables).
+	FetchWait time.Duration
 	// EnableML turns on the learned-scoring extension: an online
 	// logistic model (trained from the cluster's own re-access history)
 	// scales Equation (1) scores by the predicted re-access probability.
@@ -255,10 +273,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		srvCfg.Monitor.WorkersPerShard = cfg.WorkersPerShard
 		srvCfg.Monitor.Drop = cfg.DropEvents
 		srvCfg.Engine = placement.Config{
-			Interval:        cfg.EngineInterval,
-			UpdateThreshold: cfg.EngineUpdateThreshold,
-			Workers:         cfg.EngineThreads,
+			Interval:         cfg.EngineInterval,
+			UpdateThreshold:  cfg.EngineUpdateThreshold,
+			Workers:          cfg.EngineThreads,
+			Async:            cfg.AsyncMover,
+			MoverConcurrency: cfg.MoverConcurrency,
+			MoverQueueDepth:  cfg.MoverQueueDepth,
+			FetchCoalesce:    cfg.FetchCoalesce,
 		}
+		srvCfg.FetchWait = cfg.FetchWait
 		srv, err := server.New(srvCfg, fs, hier, stats, maps)
 		if err != nil {
 			return nil, err

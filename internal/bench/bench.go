@@ -2,9 +2,12 @@
 // cmd/hfetchbench. It measures the event pipeline (monitor → auditor →
 // placement) of both pipeline variants — the sharded rings and the
 // legacy single queue — under weak- and strong-scaling client herds,
-// plus an application-read scenario for the end-to-end hit ratio, and
-// assembles the results into the schema-versioned report written to
-// BENCH_<rev>.json (see BENCHMARKS.md for the schema and baselines).
+// plus an application-read scenario for the end-to-end hit ratio and a
+// data-movement scenario comparing the synchronous engine against the
+// async mover pipeline (decision-pass latency, queue depths, fetch
+// coalescing, read stalls), and assembles the results into the
+// schema-versioned report written to BENCH_<rev>.json (see
+// BENCHMARKS.md for the schema and baselines).
 //
 // Unlike internal/harness, which reproduces the paper's figures in
 // modeled device time, bench measures the *implementation*: wall-clock
@@ -175,6 +178,17 @@ func Run(o Options, logf func(format string, args ...any)) (Report, error) {
 	logf("reads  %d clients: hit ratio %.3f over %d segment reads",
 		reads.Clients, reads.HitRatio, reads.SegmentsRead)
 	rep.Reads = &reads
+
+	movement, err := runMovement(o)
+	if err != nil {
+		return rep, fmt.Errorf("movement: %w", err)
+	}
+	for _, v := range []MovementVariant{movement.Sync, movement.Async} {
+		logf("move   %-5s: decide p99 %9.1fµs  hit %.3f  queue max %3d  coalesced %4d  stalls %d (%d rescued)",
+			v.Mode, v.Decide.P99us, v.HitRatio, v.MaxQueueDepth, v.Coalesced, v.Stalls, v.StallRescues)
+	}
+	logf("move   decision speedup %.1fx (sync p99 / async p99)", movement.DecisionSpeedup)
+	rep.Movement = &movement
 	return rep, nil
 }
 

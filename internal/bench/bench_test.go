@@ -43,6 +43,27 @@ func TestRunShortProducesValidReport(t *testing.T) {
 			t.Fatalf("drain %s/%s/%d: no audit-stage observations", d.Pipeline, d.Mode, d.Clients)
 		}
 	}
+	if rep.Movement == nil {
+		t.Fatal("no movement scenario result")
+	}
+	m := rep.Movement
+	for _, v := range []MovementVariant{m.Sync, m.Async} {
+		if v.Decide.Count == 0 {
+			t.Fatalf("movement %s: no decision passes measured", v.Mode)
+		}
+		if v.HitRatio <= 0 {
+			t.Fatalf("movement %s: hit ratio %v, want > 0", v.Mode, v.HitRatio)
+		}
+	}
+	if m.DecisionSpeedup <= 0 {
+		t.Fatalf("decision speedup %v, want > 0", m.DecisionSpeedup)
+	}
+	if m.Async.MaxInflight == 0 {
+		t.Fatal("async movement never had a move in flight")
+	}
+	if m.Sync.MaxQueueDepth != 0 || m.Sync.Coalesced != 0 {
+		t.Fatal("sync movement reported mover pipeline activity")
+	}
 
 	raw, err := json.Marshal(rep)
 	if err != nil {
@@ -62,6 +83,9 @@ func TestValidateRejectsBadDocuments(t *testing.T) {
 		"bad pipeline":    `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"weird"}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
 		"bad hit ratio":   `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"reads":{"hit_ratio":1.5}}`,
 		"zero throughput": `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"sharded","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":0,"stages":{}}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
+		"movement without variants": `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"movement":{}}`,
+		"movement no passes":        `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"movement":{"sync":{"mode":"sync","hit_ratio":0.5,"decide":{"count":0}},"async":{"mode":"async","hit_ratio":0.5,"decide":{"count":0}},"decision_speedup":2}}`,
+		"movement bad speedup":      `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"movement":{"sync":{"mode":"sync","hit_ratio":0.5,"decide":{"count":1,"p50_us":1,"p99_us":1,"mean_us":1}},"async":{"mode":"async","hit_ratio":0.5,"decide":{"count":1,"p50_us":1,"p99_us":1,"mean_us":1}},"decision_speedup":0}}`,
 	}
 	for name, doc := range cases {
 		if errs := Validate([]byte(doc)); len(errs) == 0 {

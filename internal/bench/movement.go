@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hfetch"
+	"hfetch/internal/events"
+	"hfetch/internal/telemetry"
+)
+
+// The movement scenario measures what the asynchronous mover buys: a
+// hot-burst workload where placement passes and PFS fetches overlap. A
+// rotating window of files goes hot each burst (posted as read events,
+// which trigger decision passes), and readers walk the window while the
+// resulting moves are still executing. The same schedule runs against
+// the synchronous engine and the async mover; the headline number is the
+// decision-pass p99 ratio — the sync engine holds its pass open through
+// device time, the async engine returns at queue submission.
+
+// movementFiles and movementBursts size the scenario; the hot window
+// advances by movementStride files per burst so every burst both fetches
+// cold files and demotes the previous window's.
+const (
+	movementWindow = 4
+	movementStride = 2
+)
+
+func movementParams(short bool) (files, bursts int) {
+	if short {
+		return 8, 6
+	}
+	return 16, 12
+}
+
+// movementConfig models devices with real (if compressed) costs so that
+// moves occupy wall-clock time: that is what the sync and async engines
+// spend it on differently. Capacities hold only part of the working set,
+// so bursts churn placements instead of settling.
+func movementConfig(shards int, short, async bool) hfetch.Config {
+	fileBytes := int64(benchSegsPerFile * benchSegSize) // 2 MiB
+	pfsLat := 1500 * time.Microsecond
+	if short {
+		pfsLat = 600 * time.Microsecond
+	}
+	return hfetch.Config{
+		Nodes:           1,
+		SegmentSize:     benchSegSize,
+		EventShards:     shards,
+		WorkersPerShard: 1,
+		EnableTelemetry: true,
+		TimeSampleEvery: 1,
+		// Low interval + small threshold: passes fire while the previous
+		// pass's moves are still in flight, which is the overlap under test.
+		EngineInterval:        20 * time.Millisecond,
+		EngineUpdateThreshold: 48,
+		EngineThreads:         2,
+		AsyncMover:            async,
+		FetchCoalesce:         async,
+		FetchWait:             2 * time.Millisecond,
+		Tiers: []hfetch.TierSpec{
+			{Name: "ram", Capacity: 2 * fileBytes,
+				Latency: 2 * time.Microsecond, Bandwidth: 8 << 30, Channels: 4},
+			{Name: "nvme", Capacity: 4 * fileBytes,
+				Latency: 30 * time.Microsecond, Bandwidth: 2 << 30, Channels: 4},
+			{Name: "bb", Capacity: 8 * fileBytes,
+				Latency: 150 * time.Microsecond, Bandwidth: 1 << 30, Channels: 4, Shared: true},
+		},
+		PFS: hfetch.PFSSpec{Latency: pfsLat, Bandwidth: 1 << 30, Servers: 4},
+	}
+}
+
+// runMovementVariant executes the burst schedule against one engine mode
+// and collects its variant record.
+func runMovementVariant(o Options, async bool) (MovementVariant, error) {
+	files, bursts := movementParams(o.Short)
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	v := MovementVariant{Mode: mode, Files: files, Bursts: bursts}
+
+	cluster, err := hfetch.NewCluster(movementConfig(o.Shards, o.Short, async))
+	if err != nil {
+		return v, err
+	}
+	defer cluster.Stop()
+	node := cluster.Node(0)
+	srv := node.Server()
+	fileBytes := int64(benchSegsPerFile * benchSegSize)
+
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("/bench/move-%04d.dat", i)
+		if err := cluster.CreateFile(names[i], fileBytes); err != nil {
+			return v, err
+		}
+		srv.Auditor().StartEpoch(names[i], fileBytes)
+	}
+
+	// Sample the mover's queues while bursts run; in sync mode the
+	// stats are zero and the maxima stay zero. The maxima live in
+	// sampler-local variables until the goroutine is joined, so early
+	// error returns never race the sampler.
+	eng := srv.Engine()
+	var maxDepth, maxInflight int
+	stopSampler := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				ms := eng.MoverStats()
+				depth := 0
+				for _, d := range ms.QueueDepths {
+					depth += d
+				}
+				if depth > maxDepth {
+					maxDepth = depth
+				}
+				if ms.Outstanding > maxInflight {
+					maxInflight = ms.Outstanding
+				}
+			}
+		}
+	}()
+	sampled := false
+	joinSampler := func() {
+		if sampled {
+			return
+		}
+		sampled = true
+		close(stopSampler)
+		samplerWG.Wait()
+		v.MaxQueueDepth = maxDepth
+		v.MaxInflight = maxInflight
+	}
+	defer joinSampler()
+
+	mon := srv.Monitor()
+	cl := node.NewClient()
+	readWindow := func(window []string) error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(window))
+		for _, name := range window {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				f, err := cl.Open(name)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer f.Close()
+				buf := make([]byte, benchSegSize)
+				for s := int64(0); s < benchSegsPerFile; s++ {
+					if _, err := f.ReadAt(buf, s*benchSegSize); err != nil {
+						errCh <- fmt.Errorf("read %s seg %d: %w", name, s, err)
+						return
+					}
+				}
+			}(name)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		return nil
+	}
+
+	start := time.Now()
+	for b := 0; b < bursts; b++ {
+		window := make([]string, 0, movementWindow)
+		for w := 0; w < movementWindow; w++ {
+			window = append(window, names[(b*movementStride+w)%files])
+		}
+		// Heat the window: the event pipeline scores the segments and
+		// trips decision passes while earlier bursts' moves still run.
+		for _, name := range window {
+			for s := int64(0); s < benchSegsPerFile; s++ {
+				mon.Post(events.Event{
+					Op: events.OpRead, File: name,
+					Offset: s * benchSegSize, Length: benchSegSize,
+				})
+			}
+		}
+		// First walk races the fetches (read stalls and rescues happen
+		// here); the post-flush walk measures the settled hit ratio.
+		if err := readWindow(window); err != nil {
+			return v, err
+		}
+		node.Flush()
+		if err := readWindow(window); err != nil {
+			return v, err
+		}
+	}
+	node.Flush()
+	v.Seconds = time.Since(start).Seconds()
+	joinSampler()
+
+	reg := node.Telemetry()
+	v.Decide = stageLats(reg, telemetry.StageDecide)[telemetry.StageDecide]
+
+	st := cl.Stats()
+	v.SegmentsRead = st.Reads()
+	if hm := st.Hits() + st.Misses(); hm > 0 {
+		v.HitRatio = float64(st.Hits()) / float64(hm)
+	}
+	ms := eng.MoverStats()
+	v.Coalesced = ms.Coalesced
+	v.Superseded = ms.Superseded
+	v.Cancelled = ms.Cancelled
+	v.Retried = ms.Retried
+	v.FailedMoves = eng.Counters().FailedMoves
+	v.Stalls, v.StallRescues = srv.StallStats()
+	stall := reg.Histogram("hfetch_read_stall_nanos", "").Snapshot()
+	v.StallP50us = float64(stall.Quantile(0.50)) / 1e3
+	v.StallP99us = float64(stall.Quantile(0.99)) / 1e3
+	return v, nil
+}
+
+// runMovement runs the burst schedule under both engines and pairs the
+// decision-pass latencies.
+func runMovement(o Options) (MovementResult, error) {
+	var res MovementResult
+	sync, err := runMovementVariant(o, false)
+	if err != nil {
+		return res, fmt.Errorf("sync variant: %w", err)
+	}
+	async, err := runMovementVariant(o, true)
+	if err != nil {
+		return res, fmt.Errorf("async variant: %w", err)
+	}
+	res.Sync = sync
+	res.Async = async
+	if async.Decide.P99us > 0 {
+		res.DecisionSpeedup = sync.Decide.P99us / async.Decide.P99us
+	}
+	return res, nil
+}

@@ -49,6 +49,45 @@ type ReadResult struct {
 	Stages       map[string]StageLat `json:"stages"`
 }
 
+// MovementVariant is one engine mode's run of the movement scenario:
+// the hot-burst schedule where placement passes overlap in-flight moves.
+type MovementVariant struct {
+	// Mode is "sync" (engine executes moves inline) or "async" (mover
+	// pipeline).
+	Mode   string `json:"mode"`
+	Files  int    `json:"files"`
+	Bursts int    `json:"bursts"`
+	// Decide summarizes the decision-pass latency (telemetry stage
+	// "decide"): the engine's pass from entry to ready-for-next-pass.
+	Decide       StageLat `json:"decide"`
+	SegmentsRead int64    `json:"segments_read"`
+	HitRatio     float64  `json:"hit_ratio"`
+	Seconds      float64  `json:"seconds"`
+	// Mover pipeline observations; all zero in sync mode.
+	MaxQueueDepth int   `json:"max_queue_depth"`
+	MaxInflight   int   `json:"max_inflight"`
+	Coalesced     int64 `json:"coalesced"`
+	Superseded    int64 `json:"superseded"`
+	Cancelled     int64 `json:"cancelled"`
+	Retried       int64 `json:"retried"`
+	FailedMoves   int64 `json:"failed_moves"`
+	// Read-stall observations: reads that waited on an in-flight fetch.
+	Stalls       int64   `json:"stalls"`
+	StallRescues int64   `json:"stall_rescues"`
+	StallP50us   float64 `json:"stall_p50_us"`
+	StallP99us   float64 `json:"stall_p99_us"`
+}
+
+// MovementResult pairs the two engine modes over the identical burst
+// schedule.
+type MovementResult struct {
+	Sync  MovementVariant `json:"sync"`
+	Async MovementVariant `json:"async"`
+	// DecisionSpeedup is sync decide p99 / async decide p99: how much
+	// faster the decision loop returns when moves execute asynchronously.
+	DecisionSpeedup float64 `json:"decision_speedup"`
+}
+
 // Comparison pairs the sharded and legacy drain throughput at one scale.
 type Comparison struct {
 	Mode       string  `json:"mode"`
@@ -69,9 +108,10 @@ type Report struct {
 	NumCPU        int    `json:"num_cpu"`
 	Short         bool   `json:"short"`
 
-	Drain       []DrainResult `json:"drain"`
-	Reads       *ReadResult   `json:"reads,omitempty"`
-	Comparisons []Comparison  `json:"comparisons"`
+	Drain       []DrainResult   `json:"drain"`
+	Reads       *ReadResult     `json:"reads,omitempty"`
+	Movement    *MovementResult `json:"movement,omitempty"`
+	Comparisons []Comparison    `json:"comparisons"`
 }
 
 // Validate checks raw JSON against the report schema. It is
@@ -163,6 +203,43 @@ func Validate(raw []byte) []error {
 		for _, key := range []string{"sharded_eps", "legacy_eps", "speedup"} {
 			if v, ok := m[key].(float64); !ok || v <= 0 {
 				bad("comparisons[%d].%s: missing or <= 0", i, key)
+			}
+		}
+	}
+
+	if mv, present := doc["movement"]; present && mv != nil {
+		m, ok := mv.(map[string]any)
+		if !ok {
+			bad("movement: not an object")
+		} else {
+			for _, mode := range []string{"sync", "async"} {
+				vm, ok := m[mode].(map[string]any)
+				if !ok {
+					bad("movement.%s: missing", mode)
+					continue
+				}
+				if got, _ := vm["mode"].(string); got != mode {
+					bad("movement.%s.mode: got %q", mode, got)
+				}
+				if hr, ok := vm["hit_ratio"].(float64); !ok || hr < 0 || hr > 1 {
+					bad("movement.%s.hit_ratio: missing or outside [0,1]", mode)
+				}
+				d, ok := vm["decide"].(map[string]any)
+				if !ok {
+					bad("movement.%s.decide: missing", mode)
+					continue
+				}
+				if c, ok := d["count"].(float64); !ok || c <= 0 {
+					bad("movement.%s.decide.count: missing or <= 0 (no decision passes measured)", mode)
+				}
+				for _, key := range []string{"p50_us", "p99_us", "mean_us"} {
+					if lat, ok := d[key].(float64); !ok || lat <= 0 {
+						bad("movement.%s.decide.%s: missing or <= 0", mode, key)
+					}
+				}
+			}
+			if v, ok := m["decision_speedup"].(float64); !ok || v <= 0 {
+				bad("movement.decision_speedup: missing or <= 0")
 			}
 		}
 	}

@@ -83,6 +83,27 @@ type Config struct {
 	EngineIntervalMS      int `json:"engine_interval_ms"`
 	EngineUpdateThreshold int `json:"engine_update_threshold"`
 
+	// AsyncMover decouples placement decisions from move execution: the
+	// engine commits its residency model and hands moves to a persistent
+	// per-tier mover pipeline instead of executing them inside the
+	// placement pass. Daemon default true; set false for the legacy
+	// synchronous engine.
+	AsyncMover bool `json:"async_mover"`
+	// MoverConcurrency is the async mover's worker count per tier,
+	// fastest first (entries <= 0 or missing use the built-in default
+	// max(2, 8>>tier)). Ignored when async_mover is false.
+	MoverConcurrency []int `json:"mover_concurrency,omitempty"`
+	// MoverQueueDepth bounds each per-tier mover queue; a full queue
+	// applies backpressure to the placement pass. Default 256.
+	MoverQueueDepth int `json:"mover_queue_depth,omitempty"`
+	// FetchCoalesce merges adjacent queued PFS fetches of one file into
+	// a single origin read. Daemon default true.
+	FetchCoalesce bool `json:"fetch_coalesce"`
+	// FetchWaitMS bounds how long a missing read waits for an in-flight
+	// mover fetch of the same segment before falling back to the PFS.
+	// Daemon default 2ms; 0 disables the wait.
+	FetchWaitMS float64 `json:"fetch_wait_ms,omitempty"`
+
 	TimeScale float64 `json:"time_scale"`
 	Tiers     []Tier  `json:"tiers"`
 	PFS       PFS     `json:"pfs"`
@@ -105,6 +126,10 @@ func Default() Config {
 		EngineWorkers:         4,
 		EngineIntervalMS:      1000,
 		EngineUpdateThreshold: 100,
+		AsyncMover:            true,
+		MoverQueueDepth:       256,
+		FetchCoalesce:         true,
+		FetchWaitMS:           2,
 		TimeScale:             1,
 		Tiers: []Tier{
 			{Name: "ram", CapacityBytes: 64 << 20, LatencyUS: 0.2, BandwidthMBps: 8000, Channels: 8},
@@ -171,7 +196,22 @@ func (c Config) Validate() error {
 	if c.EventQueueCap < 0 {
 		return fmt.Errorf("config: event_queue_cap must be >= 0, got %d", c.EventQueueCap)
 	}
+	if c.MoverQueueDepth < 0 {
+		return fmt.Errorf("config: mover_queue_depth must be >= 0, got %d", c.MoverQueueDepth)
+	}
+	if len(c.MoverConcurrency) > len(c.Tiers) {
+		return fmt.Errorf("config: mover_concurrency has %d entries for %d tiers",
+			len(c.MoverConcurrency), len(c.Tiers))
+	}
+	if c.FetchWaitMS < 0 {
+		return fmt.Errorf("config: fetch_wait_ms must be >= 0, got %g", c.FetchWaitMS)
+	}
 	return nil
+}
+
+// FetchWait returns the read-path bounded fetch wait as a duration.
+func (c Config) FetchWait() time.Duration {
+	return time.Duration(c.FetchWaitMS * float64(time.Millisecond))
 }
 
 // DropEvents reports whether the posting policy discards events on

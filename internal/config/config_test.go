@@ -74,6 +74,9 @@ func TestValidateRejects(t *testing.T) {
 		{func(c *Config) { c.Tiers[1].Name = c.Tiers[0].Name }, "duplicate"},
 		{func(c *Config) { c.Tiers[0].CapacityBytes = 0 }, "capacity"},
 		{func(c *Config) { c.Files = []File{{Name: "", Size: 1}} }, "file"},
+		{func(c *Config) { c.MoverQueueDepth = -1 }, "mover_queue_depth"},
+		{func(c *Config) { c.MoverConcurrency = []int{1, 1, 1, 1} }, "mover_concurrency"},
+		{func(c *Config) { c.FetchWaitMS = -1 }, "fetch_wait_ms"},
 	}
 	for i, tc := range cases {
 		cfg := Default()
@@ -89,6 +92,31 @@ func TestDurations(t *testing.T) {
 	cfg := Default()
 	if cfg.DecayUnit() != time.Second || cfg.EngineInterval() != time.Second {
 		t.Fatalf("durations = %v %v", cfg.DecayUnit(), cfg.EngineInterval())
+	}
+	if cfg.FetchWait() != 2*time.Millisecond {
+		t.Fatalf("FetchWait = %v, want 2ms", cfg.FetchWait())
+	}
+}
+
+func TestMoverDefaults(t *testing.T) {
+	cfg := Default()
+	if !cfg.AsyncMover || !cfg.FetchCoalesce {
+		t.Fatalf("daemon must default to the async mover with coalescing: %+v", cfg)
+	}
+	if cfg.MoverQueueDepth != 256 {
+		t.Fatalf("MoverQueueDepth = %d, want 256", cfg.MoverQueueDepth)
+	}
+	// An explicit opt-out in the file survives the defaulting overlay.
+	path := filepath.Join(t.TempDir(), "sync.json")
+	if err := writeFile(path, `{"node":"n1","async_mover":false,"fetch_coalesce":false,"fetch_wait_ms":0}`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsyncMover || got.FetchCoalesce {
+		t.Fatalf("opt-out lost in defaulting: %+v", got)
 	}
 }
 

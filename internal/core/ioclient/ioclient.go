@@ -87,7 +87,9 @@ func (c *Client) Fetch(id seg.ID, size int64, dst *tiers.Store) error {
 	if n == 0 {
 		return fmt.Errorf("ioclient: fetch %v: empty segment", id)
 	}
-	if err := dst.Put(id, buf[:n]); err != nil {
+	// buf is freshly allocated and never reused: hand ownership to the
+	// store instead of paying Put's defensive copy.
+	if err := dst.PutOwned(id, buf[:n]); err != nil {
 		return fmt.Errorf("ioclient: fetch %v into %s: %w", id, dst.Name(), err)
 	}
 	c.fetches.Add(1)
@@ -99,6 +101,90 @@ func (c *Client) Fetch(id seg.ID, size int64, dst *tiers.Store) error {
 		c.tele.Span(telemetry.StageFetch, id.File, id.Index, dst.Name(), start, d)
 	}
 	return nil
+}
+
+// FetchMany loads len(sizes) consecutive segments of file, starting at
+// segment index first, into dst with as few origin reads as possible:
+// maximal runs of full-grain segments are read in one pfs.ReadAt —
+// paying the PFS latency once for the whole run instead of once per
+// segment — and split into per-segment payloads. A short segment (a
+// clipped file tail, or an adaptive grain) ends its run, since the
+// following segment is no longer contiguous with the buffered span.
+//
+// The per-segment outcome is reported in the returned slice (aligned
+// with sizes): entries are nil on success. coalesced counts the
+// segments that shared an origin read with at least one other.
+func (c *Client) FetchMany(file string, first int64, sizes []int64, dst *tiers.Store) (errs []error, coalesced int) {
+	errs = make([]error, len(sizes))
+	grain := c.seg.Size()
+	for i := 0; i < len(sizes); {
+		// Extend the run while segments stay contiguous: every segment
+		// but the run's last must cover its full grain.
+		j := i + 1
+		for j < len(sizes) && sizes[j-1] == grain {
+			j++
+		}
+		if j-i == 1 {
+			errs[i] = c.Fetch(seg.ID{File: file, Index: first + int64(i)}, sizes[i], dst)
+			i = j
+			continue
+		}
+		var start time.Time
+		if c.tele != nil {
+			start = time.Now()
+		}
+		var total int64
+		for k := i; k < j; k++ {
+			total += sizes[k]
+		}
+		off := (first + int64(i)) * grain
+		buf := make([]byte, total)
+		n, _, err := c.fs.ReadAt(file, off, buf)
+		if err != nil || n == 0 {
+			if err == nil {
+				err = fmt.Errorf("ioclient: coalesced fetch %s@%d: empty span", file, off)
+			}
+			for k := i; k < j; k++ {
+				errs[k] = err
+			}
+			i = j
+			continue
+		}
+		var put int64
+		var pos int64
+		for k := i; k < j; k++ {
+			id := seg.ID{File: file, Index: first + int64(k)}
+			end := pos + sizes[k]
+			if pos >= int64(n) {
+				errs[k] = fmt.Errorf("ioclient: coalesced fetch %v: short span", id)
+				pos = end
+				continue
+			}
+			if end > int64(n) {
+				end = int64(n)
+			}
+			// Per-segment copy: handing sub-slices of buf to the store
+			// would pin the whole span for as long as any one segment
+			// stays resident.
+			if perr := dst.Put(id, buf[pos:end]); perr != nil {
+				errs[k] = fmt.Errorf("ioclient: coalesced fetch %v into %s: %w", id, dst.Name(), perr)
+			} else {
+				put += end - pos
+				c.fetches.Add(1)
+				coalesced++
+			}
+			pos += sizes[k]
+		}
+		c.bytes.Add(put)
+		if c.tele != nil {
+			d := time.Since(start)
+			c.bytesIn.With(dst.Name()).Add(put)
+			c.moveHist.With(dst.Name()).Observe(int64(d))
+			c.tele.Span(telemetry.StageFetch, file, first+int64(i), dst.Name(), start, d)
+		}
+		i = j
+	}
+	return errs, coalesced
 }
 
 // Transfer moves a resident segment from src to dst (promotion or
@@ -113,8 +199,11 @@ func (c *Client) Transfer(id seg.ID, src, dst *tiers.Store) error {
 	if err != nil {
 		return fmt.Errorf("ioclient: transfer %v from %s: %w", id, src.Name(), err)
 	}
-	if err := dst.Put(id, payload); err != nil {
-		if rerr := src.Put(id, payload); rerr != nil {
+	// Take removed the payload from src, so this goroutine owns it:
+	// move the slice instead of re-copying it into dst (and back into
+	// src on the restore path).
+	if err := dst.PutOwned(id, payload); err != nil {
+		if rerr := src.PutOwned(id, payload); rerr != nil {
 			return fmt.Errorf("ioclient: transfer %v lost (dst %s: %v; restore %s: %w)",
 				id, dst.Name(), err, src.Name(), rerr)
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hfetch/internal/core/seg"
+	"hfetch/internal/devsim"
 	"hfetch/internal/pfs"
 	"hfetch/internal/tiers"
 )
@@ -136,5 +137,102 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 	if st.BytesMoved != 200 { // 100 fetched + 100 transferred
 		t.Fatalf("bytes = %d, want 200", st.BytesMoved)
+	}
+}
+
+// fetchManySetup builds a PFS on a counting device so tests can assert
+// how many origin reads a coalesced fetch issued.
+func fetchManySetup(t *testing.T, capacity int64) (*pfs.FS, *Client, *tiers.Store, *devsim.Device) {
+	t.Helper()
+	dev := devsim.New(devsim.Profile{Name: "pfs", BytesPerSec: 1 << 40, Channels: 1}, 1)
+	fs := pfs.New(dev)
+	fs.Create("f", 1000)
+	c := New(fs, seg.NewSegmenter(100))
+	ram := tiers.NewStore("ram", capacity, nil)
+	return fs, c, ram, dev
+}
+
+func TestFetchManyCoalescesRunIntoOneRead(t *testing.T) {
+	fs, c, ram, dev := fetchManySetup(t, 1000)
+	errs, coalesced := c.FetchMany("f", 2, []int64{100, 100, 100, 100}, ram)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+	}
+	if coalesced != 4 {
+		t.Fatalf("coalesced = %d, want 4", coalesced)
+	}
+	if ops, _, _ := dev.Stats(); ops != 1 {
+		t.Fatalf("origin reads = %d, want 1 for a contiguous full-grain run", ops)
+	}
+	// Every segment's payload must match what a direct read produces.
+	for i := int64(2); i < 6; i++ {
+		got, err := ram.Get(seg.ID{File: "f", Index: i})
+		if err != nil || len(got) != 100 {
+			t.Fatalf("segment %d: %d bytes, %v", i, len(got), err)
+		}
+		for o, b := range got {
+			want, _ := fs.ExpectedAt("f", i*100+int64(o))
+			if b != want {
+				t.Fatalf("segment %d byte %d = %#x, want %#x", i, o, b, want)
+			}
+		}
+	}
+	if st := c.Stats(); st.Fetches != 4 || st.BytesMoved != 400 {
+		t.Fatalf("stats = %+v, want 4 fetches / 400 bytes", st)
+	}
+}
+
+func TestFetchManyShortSegmentBreaksRun(t *testing.T) {
+	// A short (clipped) segment in the middle ends the contiguous span:
+	// [full, short, full] must take one coalesced read for the first
+	// pair and one single fetch for the trailing segment.
+	_, c, ram, dev := fetchManySetup(t, 1000)
+	errs, coalesced := c.FetchMany("f", 0, []int64{100, 40, 100}, ram)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+	}
+	if coalesced != 2 {
+		t.Fatalf("coalesced = %d, want 2 (only the leading pair shares a read)", coalesced)
+	}
+	if ops, _, _ := dev.Stats(); ops != 2 {
+		t.Fatalf("origin reads = %d, want 2", ops)
+	}
+	if got := ram.SizeOf(seg.ID{File: "f", Index: 1}); got != 40 {
+		t.Fatalf("short segment stored %d bytes, want 40", got)
+	}
+}
+
+func TestFetchManyReportsPerSegmentErrors(t *testing.T) {
+	// Destination holds one segment: the run's first put succeeds, the
+	// rest fail individually without poisoning the whole batch.
+	_, c, ram, _ := fetchManySetup(t, 150)
+	errs, coalesced := c.FetchMany("f", 0, []int64{100, 100, 100}, ram)
+	if errs[0] != nil {
+		t.Fatalf("first segment: %v", errs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if !errors.Is(errs[i], tiers.ErrNoSpace) {
+			t.Fatalf("segment %d error = %v, want ErrNoSpace", i, errs[i])
+		}
+	}
+	if coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1 (only the stored segment counts)", coalesced)
+	}
+	if !ram.Has(seg.ID{File: "f", Index: 0}) {
+		t.Fatal("first segment must be resident")
+	}
+}
+
+func TestFetchManyMissingFile(t *testing.T) {
+	_, c, ram, _ := fetchManySetup(t, 1000)
+	errs, _ := c.FetchMany("ghost", 0, []int64{100, 100}, ram)
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("segment %d: expected an error for a missing file", i)
+		}
 	}
 }

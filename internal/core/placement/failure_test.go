@@ -34,19 +34,20 @@ func (f *flakyMover) Evict(id seg.ID, src *tiers.Store) error {
 	return f.inner.Evict(id, src)
 }
 
-// flakyRig swaps the rig's mover for a flaky one.
-func flakyRig(t *testing.T, capacities ...int64) (*rig, *flakyMover) {
+// flakyRig builds a rig whose mover is wrapped for fault injection;
+// cfg selects sync or async execution.
+func flakyRig(t *testing.T, cfg Config, capacities ...int64) (*rig, *flakyMover) {
 	t.Helper()
-	r := newRig(t, Config{}, capacities...)
-	fm := &flakyMover{inner: r.eng.mover}
-	r.eng.mover = fm
-	fm.failFetches.Store(0)
-	fm.failTransfer.Store(0)
+	var fm *flakyMover
+	r := newRigWrapped(t, cfg, func(m Mover) Mover {
+		fm = &flakyMover{inner: m}
+		return fm
+	}, capacities...)
 	return r, fm
 }
 
 func TestFailedFetchReconcilesAndRetries(t *testing.T) {
-	r, fm := flakyRig(t, 1000)
+	r, fm := flakyRig(t, Config{}, 1000)
 	fm.failFetches.Store(1)
 	r.eng.ScoreUpdated(up(0, 5))
 	r.eng.Flush()
@@ -71,7 +72,7 @@ func TestFailedFetchReconcilesAndRetries(t *testing.T) {
 }
 
 func TestFailedTransferKeepsSingleCopy(t *testing.T) {
-	r, fm := flakyRig(t, 100, 1000)
+	r, fm := flakyRig(t, Config{}, 100, 1000)
 	r.eng.ScoreUpdated(up(0, 5))
 	r.eng.Flush()
 	if r.hier.Locate(seg.ID{File: "f", Index: 0}) != 0 {
@@ -108,7 +109,7 @@ func TestFailedTransferKeepsSingleCopy(t *testing.T) {
 }
 
 func TestRepeatedFailuresNeverCorruptAccounting(t *testing.T) {
-	r, fm := flakyRig(t, 300, 300)
+	r, fm := flakyRig(t, Config{}, 300, 300)
 	for round := 0; round < 20; round++ {
 		if round%3 == 0 {
 			fm.failFetches.Store(1)

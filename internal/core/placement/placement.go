@@ -21,6 +21,7 @@
 package placement
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"hfetch/internal/core/auditor"
+	amover "hfetch/internal/core/mover"
 	"hfetch/internal/core/seg"
 	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
@@ -69,8 +71,28 @@ type Config struct {
 	// Default Medium (100).
 	UpdateThreshold int
 	// Workers is the number of engine threads executing data movement
-	// within a run. Default 2.
+	// within a run (synchronous mode), and the PFS fetch-stream cap of
+	// the async mover — both model the paper §IV engine threads.
+	// Default 2.
 	Workers int
+	// Async decouples deciding from executing: run() commits the
+	// residency model, hands the merged plan to a persistent mover
+	// pipeline, and returns without waiting on device time. The zero
+	// value keeps the legacy synchronous execution (run() blocks until
+	// the moves land), which existing placement tests exercise.
+	Async bool
+	// MoverConcurrency is the async mover's per-tier worker count,
+	// fastest tier first. Missing or non-positive entries use the mover
+	// default (max(2, 8>>tier)). Ignored when Async is false.
+	MoverConcurrency []int
+	// MoverQueueDepth bounds each per-tier mover queue; a full queue
+	// applies backpressure to the placement pass. Default 256. Ignored
+	// when Async is false.
+	MoverQueueDepth int
+	// FetchCoalesce lets the async mover merge adjacent queued PFS
+	// fetches of one file into a single origin read. Ignored when Async
+	// is false.
+	FetchCoalesce bool
 	// MinScore is the global admission floor: segments scoring below it
 	// are never prefetched. Default 0 (admit anything with score > 0).
 	MinScore float64
@@ -109,6 +131,10 @@ type Engine struct {
 	hier  *tiers.Hierarchy
 	mover Mover
 	aud   *auditor.Auditor
+
+	// async is the persistent mover pipeline (nil in synchronous mode).
+	// run() submits merged plans to it instead of calling execute().
+	async *amover.Mover
 
 	mu          sync.Mutex
 	pending     map[seg.ID]auditor.Update
@@ -194,6 +220,19 @@ func New(cfg Config, hier *tiers.Hierarchy, mover Mover, aud *auditor.Auditor) *
 			return int64(len(e.pending))
 		})
 	}
+	if cfg.Async {
+		e.async = amover.New(amover.Config{
+			Concurrency: cfg.MoverConcurrency,
+			QueueDepth:  cfg.MoverQueueDepth,
+			PFSStreams:  cfg.Workers,
+			Coalesce:    cfg.FetchCoalesce,
+			Telemetry:   cfg.Telemetry,
+		}, hier, mover, e.moveDone)
+		// Workers start immediately so Flush-only engines (tests) drain
+		// without Start; they idle on a condition variable until moves
+		// arrive.
+		e.async.Start()
+	}
 	return e
 }
 
@@ -203,10 +242,16 @@ func (e *Engine) Start() {
 	go e.loop()
 }
 
-// Stop terminates the engine after a final drain.
+// Stop terminates the engine after a final drain. In async mode the
+// mover pipeline is drained and shut down too, so every submitted move
+// is terminal when Stop returns.
 func (e *Engine) Stop() {
 	e.once.Do(func() { close(e.stop) })
 	e.wg.Wait()
+	if e.async != nil {
+		e.async.Drain()
+		e.async.Stop()
+	}
 }
 
 // ScoreUpdated implements auditor.Sink. It is the hot path: a map insert
@@ -263,9 +308,16 @@ func (e *Engine) FileInvalidated(file string) {
 	}
 }
 
-// Flush runs one placement pass synchronously (used by tests and by
-// epoch teardown).
-func (e *Engine) Flush() { e.run() }
+// Flush runs one placement pass and waits for its data movement to
+// finish (used by tests and by epoch teardown). It is the barrier that
+// makes async mode deterministic: after Flush the stores match the
+// model.
+func (e *Engine) Flush() {
+	e.run()
+	if e.async != nil {
+		e.async.Drain()
+	}
+}
 
 func (e *Engine) loop() {
 	defer e.wg.Done()
@@ -334,7 +386,70 @@ func (e *Engine) run() {
 		// Decision latency: planning only, data movement is the fetch stage.
 		e.cfg.Telemetry.Span(telemetry.StagePlace, "", -1, "", decideStart, time.Since(decideStart))
 	}
-	e.execute(mergePlan(plan))
+	merged := mergePlan(plan)
+	if e.async != nil {
+		e.submitAsync(merged)
+	} else {
+		e.execute(merged)
+	}
+	if e.cfg.Telemetry != nil {
+		// The decide stage is the whole pass, entry to ready-for-next:
+		// synchronous execution keeps the engine occupied through device
+		// time, async ends at queue submission. Their gap is what
+		// decoupling buys.
+		e.cfg.Telemetry.Span(telemetry.StageDecide, "", -1, "", decideStart, time.Since(decideStart))
+	}
+}
+
+// submitAsync hands a merged plan to the mover, preserving the phase
+// order (evictions, transfers deepest-destination first, fetches) so
+// space-freeing moves enter the queues before the moves that claim the
+// space. The mover still overlaps phases — transient destination-full
+// errors there are retried, since the model guarantees the final state
+// fits.
+func (e *Engine) submitAsync(plan []move) {
+	if len(plan) == 0 {
+		return
+	}
+	for _, phase := range phases(plan, e.hier.Len()) {
+		batch := make([]amover.Move, len(phase))
+		for i, mv := range phase {
+			batch[i] = amover.Move{ID: mv.id, Size: mv.size, From: mv.from, To: mv.to}
+		}
+		e.async.Submit(batch)
+	}
+}
+
+// moveDone is the async mover's terminal-outcome callback: the
+// bookkeeping half of executeOne, applied when the move actually lands.
+// Called from mover workers without mover locks held.
+func (e *Engine) moveDone(mv amover.Move, err error) {
+	m := move{id: mv.ID, size: mv.Size, from: mv.From, to: mv.To}
+	if errors.Is(err, amover.ErrCancelled) {
+		// The file was invalidated mid-move; dropFile already cleaned the
+		// model and the mapping, and the mover undid any materialized
+		// payload.
+		return
+	}
+	switch {
+	case m.to < 0: // eviction (mapping drops even on failure, as in sync)
+		if err == nil {
+			e.ctr.evictions.Add(1)
+		}
+		e.aud.DeleteMapping(m.id)
+	case err != nil:
+		e.ctr.failed.Add(1)
+		e.reconcile(m)
+	case m.from < 0:
+		e.ctr.placements.Add(1)
+		e.aud.SetMapping(m.id, e.hier.Tier(m.to).Name())
+	case m.to < m.from:
+		e.ctr.promotions.Add(1)
+		e.aud.SetMapping(m.id, e.hier.Tier(m.to).Name())
+	default:
+		e.ctr.demotions.Add(1)
+		e.aud.SetMapping(m.id, e.hier.Tier(m.to).Name())
+	}
 }
 
 // mergePlan coalesces per-segment move chains (a segment can be demoted
@@ -407,8 +522,13 @@ func phases(plan []move, tierCount int) [][]move {
 }
 
 // dropFile removes every resident segment of file (consistency after a
-// write event).
+// write event). In async mode the file's in-flight moves are cancelled
+// first, so a queued fetch cannot re-materialize stale bytes after the
+// stores are swept.
 func (e *Engine) dropFile(file string) {
+	if e.async != nil {
+		e.async.CancelFile(file)
+	}
 	n := e.hier.DeleteFile(file)
 	if n > 0 {
 		e.ctr.evictions.Add(int64(n))
@@ -705,6 +825,28 @@ func (e *Engine) Counters() Stats {
 		Evictions:   e.ctr.evictions.Load(),
 		FailedMoves: e.ctr.failed.Load(),
 	}
+}
+
+// MoverStats returns a snapshot of the async mover's counters and queue
+// depths; the zero Stats in synchronous mode.
+func (e *Engine) MoverStats() amover.Stats {
+	if e.async == nil {
+		return amover.Stats{}
+	}
+	return e.async.Stats()
+}
+
+// WaitInflight blocks until an in-flight incoming move of id (if any)
+// reaches a terminal state, or until timeout. It returns how long the
+// caller actually waited and whether the move completed; (0, false)
+// immediately when nothing is in flight or the engine is synchronous.
+// The server read path uses this to ride a queued fetch instead of
+// re-reading the bytes from the PFS.
+func (e *Engine) WaitInflight(id seg.ID, timeout time.Duration) (time.Duration, bool) {
+	if e.async == nil {
+		return 0, false
+	}
+	return e.async.WaitFor(id, timeout)
 }
 
 func abs(v float64) float64 {

@@ -24,6 +24,14 @@ type rig struct {
 }
 
 func newRig(t *testing.T, cfg Config, capacities ...int64) *rig {
+	return newRigWrapped(t, cfg, nil, capacities...)
+}
+
+// newRigWrapped builds the rig with the I/O client optionally wrapped
+// (fault injection, gating) BEFORE the engine is constructed — the async
+// mover pipeline captures its executor at New, so swapping e.mover
+// afterwards would only affect the synchronous path.
+func newRigWrapped(t *testing.T, cfg Config, wrap func(Mover) Mover, capacities ...int64) *rig {
 	t.Helper()
 	fs := pfs.New(nil)
 	fs.Create("f", 1<<20)
@@ -37,9 +45,13 @@ func newRig(t *testing.T, cfg Config, capacities ...int64) *rig {
 	stats := dhm.New(dhm.Config{Name: "stats", Self: "n0"}, nil)
 	maps := dhm.New(dhm.Config{Name: "maps", Self: "n0"}, nil)
 	aud := auditor.New(auditor.Config{Segmenter: segr}, stats, maps)
-	mover := ioclient.New(fs, segr)
+	var mover Mover = ioclient.New(fs, segr)
+	if wrap != nil {
+		mover = wrap(mover)
+	}
 	eng := New(cfg, hier, mover, aud)
 	aud.SetSink(eng)
+	t.Cleanup(eng.Stop)
 	return &rig{fs: fs, hier: hier, aud: aud, eng: eng, segr: segr}
 }
 

@@ -52,6 +52,12 @@ type Config struct {
 	// (burst buffers): segments mapped there by any node are read
 	// locally instead of through the node-to-node communicator.
 	SharedTiers []string
+	// FetchWait bounds how long a missing read waits for an in-flight
+	// mover fetch of the same segment before falling back to the PFS,
+	// avoiding the double-read where a client re-fetches bytes the async
+	// mover is already moving. Zero disables the wait; it only has an
+	// effect when Engine.Async is set.
+	FetchWait time.Duration
 	// SweepInterval enables the statistics janitor: every interval,
 	// segment records of closed epochs whose score decayed below
 	// SweepFloor (default 0.01) and which are not resident anywhere are
@@ -101,10 +107,14 @@ type Server struct {
 	iostats *metrics.IOStats
 
 	// Telemetry handles for the read hot path; nil when disabled.
-	tele     *telemetry.Registry
-	hitVec   *telemetry.CounterVec
-	missCtr  *telemetry.Counter
-	readHist *telemetry.HistVec
+	tele      *telemetry.Registry
+	hitVec    *telemetry.CounterVec
+	missCtr   *telemetry.Counter
+	readHist  *telemetry.HistVec
+	stallHist *telemetry.Histogram
+
+	stalls       atomic.Int64
+	stallRescues atomic.Int64
 
 	started bool
 }
@@ -168,6 +178,9 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 		s.hitVec = reg.CounterVec("hfetch_tier_read_hits_total", "segment reads served from the tier", "tier")
 		s.missCtr = reg.Counter("hfetch_read_misses_total", "segment reads that fell back to the PFS")
 		s.readHist = reg.HistVec("hfetch_tier_read_nanos", "prefetched-read latency by serving tier in nanoseconds", "tier")
+		s.stallHist = reg.Histogram("hfetch_read_stall_nanos", "time reads blocked waiting for an in-flight mover fetch")
+		reg.CounterFunc("hfetch_read_stalls_total", "reads that waited on an in-flight mover fetch", s.stalls.Load)
+		reg.CounterFunc("hfetch_read_stall_rescues_total", "stalled reads served from a tier after the fetch landed", s.stallRescues.Load)
 		reg.CounterFunc("hfetch_remote_reads_total", "segment reads issued to peer nodes", s.remoteReads.Load)
 		reg.CounterFunc("hfetch_remote_serves_total", "segment reads served for peer nodes", s.remoteServes.Load)
 		reg.CounterFunc("hfetch_swept_records_total", "statistics records garbage-collected by the janitor", s.swept.Load)
@@ -332,21 +345,29 @@ func (s *Server) ReadFromTier(tier string, id seg.ID, off int64, p []byte) (int,
 // from wherever the hierarchy holds it: a local tier, a shared tier, or
 // a remote node's tier through the node-to-node communicator. ok is
 // false (and tier empty) when the caller must go to the PFS.
+//
+// When the async mover has a fetch of the segment in flight, a missing
+// read stalls up to Config.FetchWait for it to land instead of falling
+// back to the PFS — one bounded wait instead of a duplicate origin read.
 func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier string, ok bool) {
 	var start time.Time
 	timed := s.tele.TimeSample()
 	if timed {
 		start = time.Now()
 	}
-	node, tier, ok := s.aud.Mapping(id)
-	if !ok {
-		s.miss(int64(len(p)))
-		return 0, "", false
-	}
-	if node == "" || node == s.cfg.Node || s.shared[tier] {
-		n, ok = s.ReadFromTier(tier, id, off, p)
-	} else {
-		n, ok = s.readRemote(node, tier, id, off, p)
+	n, tier, ok = s.serve(id, off, p)
+	if !ok && s.cfg.FetchWait > 0 {
+		if waited, landed := s.eng.WaitInflight(id, s.cfg.FetchWait); waited > 0 {
+			s.stalls.Add(1)
+			if s.stallHist != nil {
+				s.stallHist.Observe(int64(waited))
+			}
+			if landed {
+				if n, tier, ok = s.serve(id, off, p); ok {
+					s.stallRescues.Add(1)
+				}
+			}
+		}
 	}
 	if !ok {
 		s.miss(int64(len(p)))
@@ -360,6 +381,30 @@ func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier str
 		s.readHist.With(tier).Observe(int64(d))
 	}
 	return n, tier, true
+}
+
+// serve resolves the segment mapping and reads from the resolved tier,
+// local or remote. ok is false on an absent or stale mapping.
+func (s *Server) serve(id seg.ID, off int64, p []byte) (n int, tier string, ok bool) {
+	node, tier, ok := s.aud.Mapping(id)
+	if !ok {
+		return 0, "", false
+	}
+	if node == "" || node == s.cfg.Node || s.shared[tier] {
+		n, ok = s.ReadFromTier(tier, id, off, p)
+	} else {
+		n, ok = s.readRemote(node, tier, id, off, p)
+	}
+	if !ok {
+		return 0, "", false
+	}
+	return n, tier, true
+}
+
+// StallStats reports (reads that waited on an in-flight fetch, waits
+// that were then served from a tier).
+func (s *Server) StallStats() (stalls, rescues int64) {
+	return s.stalls.Load(), s.stallRescues.Load()
 }
 
 func (s *Server) miss(nbytes int64) {

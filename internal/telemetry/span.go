@@ -20,6 +20,12 @@ const (
 	// StagePlace is one placement-engine decision pass (plan only, not
 	// data movement).
 	StagePlace = "place"
+	// StageDecide is one full engine pass from entry to the point the
+	// engine can accept the next pass: with the synchronous executor it
+	// includes data movement (the engine is occupied until the moves
+	// land), with the async mover it is planning plus queue submission
+	// only. The gap between the two is what decoupling buys.
+	StageDecide = "decide"
 	// StageFetch is one ioclient data movement (PFS fetch or tier
 	// transfer) executed for a placement.
 	StageFetch = "fetch"

@@ -92,12 +92,41 @@ func (s *Store) Put(id seg.ID, payload []byte) error {
 		delta -= int64(len(old))
 	}
 	if s.used+delta > s.capacity {
+		free := s.capacity - s.used
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s needs %d, free %d", ErrNoSpace, s.name, size, s.capacity-s.used)
+		return fmt.Errorf("%w: %s needs %d, free %d", ErrNoSpace, s.name, size, free)
 	}
 	cp := make([]byte, size)
 	copy(cp, payload)
 	s.data[id] = cp
+	s.used += delta
+	s.mu.Unlock()
+	if s.dev != nil {
+		s.dev.Access(size)
+	}
+	return nil
+}
+
+// PutOwned stores a segment payload without copying: the store takes
+// ownership of payload, so the caller must not retain or mutate the
+// slice afterwards. This is the data-movement hot path — ioclient's
+// fetch/transfer chain hands freshly read (or Taken) buffers straight
+// in — where Put's defensive copy would double the bytes touched.
+// Accounting and device charging match Put exactly.
+func (s *Store) PutOwned(id seg.ID, payload []byte) error {
+	size := int64(len(payload))
+	s.mu.Lock()
+	old, had := s.data[id]
+	delta := size
+	if had {
+		delta -= int64(len(old))
+	}
+	if s.used+delta > s.capacity {
+		free := s.capacity - s.used
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s needs %d, free %d", ErrNoSpace, s.name, size, free)
+	}
+	s.data[id] = payload
 	s.used += delta
 	s.mu.Unlock()
 	if s.dev != nil {

@@ -259,3 +259,55 @@ func TestUsedNeverExceedsCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutOwnedTakesOwnership(t *testing.T) {
+	// PutOwned stores the slice itself (no defensive copy): a caller
+	// mutation after the handoff is visible, which is exactly the
+	// contract — the mover's fetch/transfer path hands over buffers it
+	// never touches again.
+	s := NewStore("ram", 1024, nil)
+	payload := []byte{1, 2, 3}
+	if err := s.PutOwned(id("f", 0), payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 99
+	got, _ := s.Get(id("f", 0))
+	if got[0] != 99 {
+		t.Fatal("PutOwned must take ownership of the slice, not copy it")
+	}
+}
+
+func TestPutOwnedAccountingMatchesPut(t *testing.T) {
+	s := NewStore("ram", 100, nil)
+	if err := s.PutOwned(id("f", 0), make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 60 {
+		t.Fatalf("Used = %d, want 60", s.Used())
+	}
+	// Replacing charges only the size delta.
+	if err := s.PutOwned(id("f", 0), make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 80 {
+		t.Fatalf("Used after replace = %d, want 80", s.Used())
+	}
+	err := s.PutOwned(id("f", 1), make([]byte, 40))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if s.Used() != 80 {
+		t.Fatalf("failed PutOwned changed accounting: Used = %d", s.Used())
+	}
+}
+
+func TestPutOwnedChargesDevice(t *testing.T) {
+	dev := devsim.New(devsim.Profile{Name: "ram", BytesPerSec: 1 << 40, Channels: 1}, 1)
+	s := NewStore("ram", 1024, dev)
+	if err := s.PutOwned(id("f", 0), make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if ops, nbytes, _ := dev.Stats(); ops != 1 || nbytes != 64 {
+		t.Fatalf("device saw %d ops / %d bytes, want 1 / 64", ops, nbytes)
+	}
+}
