@@ -26,7 +26,7 @@ import (
 	"time"
 
 	"hfetch/internal/core/remote"
-	"hfetch/internal/trace"
+	"hfetch/internal/telemetry"
 	"hfetch/internal/workloads"
 )
 
@@ -64,7 +64,7 @@ func main() {
 		log.Fatalf("hfdrive: create: %v", err)
 	}
 
-	rec := trace.NewRecorder(1<<16, 1)
+	rec := telemetry.NewAccessLog(1<<16, 1)
 	total := *size * int64(*passes)
 	fmt.Printf("driving %s: %d procs, %s pattern, %d MiB x %d passes\n",
 		*addr, *procs, p, *size>>20, *passes)
@@ -99,7 +99,7 @@ func main() {
 					log.Printf("proc %d: read: %v", w, err)
 					return
 				}
-				rec.Record(trace.Sample{
+				rec.Record(telemetry.AccessSample{
 					When: t0, File: *file, Offset: acc.Off, Length: int64(n),
 					Tier: tier, Latency: time.Since(t0),
 				})
@@ -110,7 +110,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	fmt.Printf("elapsed: %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("trace:   %s\n", rec.Summarize())
+	fmt.Printf("trace:   %s\n", rec.Summary())
 	if st, err := admin.ServerStats(); err == nil {
 		fmt.Printf("server:  events=%d placements=%d promotions=%d demotions=%d evictions=%d\n",
 			st.Events, st.Placements, st.Promotions, st.Demotions, st.Evictions)
@@ -143,7 +143,7 @@ func replayScript(addr, path, traceOut string) {
 	fmt.Printf("replaying %q: %d apps, %d procs, %d files\n",
 		doc.Name, len(apps), procs, len(doc.Files))
 
-	rec := trace.NewRecorder(1<<16, 1)
+	rec := telemetry.NewAccessLog(1<<16, 1)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, app := range apps {
@@ -186,7 +186,7 @@ func replayScript(addr, path, traceOut string) {
 						log.Print(err)
 						return
 					}
-					rec.Record(trace.Sample{
+					rec.Record(telemetry.AccessSample{
 						When: t0, File: acc.File, Offset: acc.Off, Length: int64(n),
 						Tier: tier, Latency: time.Since(t0),
 					})
@@ -196,11 +196,11 @@ func replayScript(addr, path, traceOut string) {
 	}
 	wg.Wait()
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("trace:   %s\n", rec.Summarize())
+	fmt.Printf("trace:   %s\n", rec.Summary())
 	writeTrace(rec, traceOut)
 }
 
-func writeTrace(rec *trace.Recorder, path string) {
+func writeTrace(rec *telemetry.AccessLog, path string) {
 	if path == "" {
 		return
 	}
@@ -209,7 +209,7 @@ func writeTrace(rec *trace.Recorder, path string) {
 		log.Fatalf("hfdrive: %v", err)
 	}
 	defer out.Close()
-	if err := rec.WriteCSV(out); err != nil {
+	if err := telemetry.WriteAccessCSV(out, rec.Samples()); err != nil {
 		log.Fatalf("hfdrive: %v", err)
 	}
 	fmt.Printf("wrote %d samples to %s\n", rec.Len(), path)

@@ -6,8 +6,10 @@
 // Usage:
 //
 //	hfetchbench [-short] [-out file] [-clients 320,640,...]
-//	            [-min-speedup 1.0] [-min-decision-speedup 1.0] [-quiet]
+//	            [-min-speedup 1.0] [-min-decision-speedup 1.0]
+//	            [-trace-out trace.json] [-quiet]
 //	hfetchbench -validate BENCH_abc1234.json
+//	hfetchbench -validate-trace trace.json
 //
 // -min-speedup N exits non-zero when any sharded/legacy throughput
 // comparison falls below N (the CI smoke job uses 1.0: sharded must not
@@ -15,7 +17,9 @@
 // for the movement scenario's sync/async decision-pass p99 ratio: below
 // N means the async mover no longer returns decision passes faster than
 // inline execution. -validate checks an existing report against the
-// schema and exits.
+// schema and exits. -trace-out exports the read scenario's lifecycle
+// traces as Chrome trace_event JSON (load in Perfetto), validated on
+// write; -validate-trace checks an existing trace file and exits.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"hfetch/internal/bench"
+	"hfetch/internal/telemetry"
 )
 
 func main() {
@@ -39,8 +44,25 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 0, "fail when any sharded/legacy speedup is below this (0 disables)")
 	minDecision := flag.Float64("min-decision-speedup", 0, "fail when the movement scenario's sync/async decision-pass p99 ratio is below this (0 disables)")
 	validate := flag.String("validate", "", "validate an existing report file and exit")
+	traceOut := flag.String("trace-out", "", "export the read scenario's lifecycle traces as Perfetto-loadable JSON to this file")
+	validateTrace := flag.String("validate-trace", "", "validate an existing trace JSON file and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+
+	if *validateTrace != "" {
+		raw, err := os.ReadFile(*validateTrace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if errs := telemetry.ValidateTraceJSON(raw); len(errs) != 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "hfetchbench: %s: %v\n", *validateTrace, e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid trace JSON\n", *validateTrace)
+		return
+	}
 
 	if *validate != "" {
 		raw, err := os.ReadFile(*validate)
@@ -60,7 +82,7 @@ func main() {
 	if *rev == "" {
 		*rev = gitRev()
 	}
-	opts := bench.Options{Short: *short, Rev: *rev, Now: time.Now()}
+	opts := bench.Options{Short: *short, Rev: *rev, Now: time.Now(), TracePath: *traceOut}
 	if *clientsFlag != "" {
 		for _, part := range strings.Split(*clientsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -99,6 +121,20 @@ func main() {
 	}
 	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
+	}
+
+	if *traceOut != "" {
+		traw, err := os.ReadFile(*traceOut)
+		if err != nil {
+			fatalf("trace self-check: %v", err)
+		}
+		if errs := telemetry.ValidateTraceJSON(traw); len(errs) != 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "hfetchbench: trace self-check: %v\n", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (valid trace JSON)\n", *traceOut)
 	}
 
 	fmt.Printf("wrote %s (%d drain points, min speedup %.2fx", path, len(rep.Drain), rep.MinSpeedup())

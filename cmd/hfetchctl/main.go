@@ -6,6 +6,8 @@
 //	hfetchctl -addr host:port tiers
 //	hfetchctl -addr host:port metrics [raw]
 //	hfetchctl -addr host:port spans
+//	hfetchctl -addr host:port trace [-csv] [-o file]
+//	hfetchctl -addr host:port top [-interval 2s] [-n count]
 //	hfetchctl -addr host:port create <name> <size>
 //	hfetchctl -addr host:port read <name> <off> <len>
 package main
@@ -100,6 +102,33 @@ func main() {
 		for _, t := range ti {
 			fmt.Printf("%-8s %12d %12d %10d\n", t.Name, t.Capacity, t.Used, t.Segments)
 		}
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		csv := fs.Bool("csv", false, "export the access-record CSV instead of trace JSON")
+		out := fs.String("o", "", "write to file instead of stdout")
+		fs.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		data, err := c.Trace(*csv)
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		if *out == "" {
+			os.Stdout.Write(data) //nolint:errcheck // best-effort stdout
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		kind := "trace JSON (load in Perfetto or chrome://tracing)"
+		if *csv {
+			kind = "access CSV"
+		}
+		fmt.Printf("wrote %d bytes of %s to %s\n", len(data), kind, *out)
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+		count := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+		fs.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		runTop(c, *addr, *interval, *count)
 	case "create":
 		if len(args) != 3 {
 			usage()
@@ -128,6 +157,113 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runTop renders a refreshing terminal status view: hit ratio, tier
+// occupancy, mover queue depths, and the prefetch-effectiveness ledger.
+func runTop(c *remote.Client, addr string, interval time.Duration, count int) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := c.Metrics()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		ti, err := c.Tiers()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		fmt.Printf("hfetch top — %s — %s (refresh %v, ctrl-c to quit)\n\n",
+			addr, time.Now().Format("15:04:05"), interval)
+
+		hits := metricSum(snap, "hfetch_tier_read_hits_total")
+		misses := metricSum(snap, "hfetch_read_misses_total")
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		stalls := metricSum(snap, "hfetch_read_stalls_total")
+		rescues := metricSum(snap, "hfetch_read_stall_rescues_total")
+		fmt.Printf("reads      hits %-10d misses %-10d hit ratio %.3f\n", hits, misses, ratio)
+		fmt.Printf("stalls     %-10d rescued %-10d\n\n", stalls, rescues)
+
+		depths := metricByLabel(snap, "hfetch_mover_queue_depth")
+		fmt.Printf("%-8s %12s %12s %10s %8s %11s\n",
+			"TIER", "CAPACITY", "USED", "SEGMENTS", "FILL%", "MOVER-QUEUE")
+		for _, t := range ti {
+			fill := 0.0
+			if t.Capacity > 0 {
+				fill = 100 * float64(t.Used) / float64(t.Capacity)
+			}
+			fmt.Printf("%-8s %12d %12d %10d %7.1f%% %11d\n",
+				t.Name, t.Capacity, t.Used, t.Segments, fill,
+				depths[telemetry.RenderLabels("tier", t.Name)])
+		}
+		fmt.Printf("mover inflight %d\n\n", metricSum(snap, "hfetch_mover_inflight"))
+
+		timely := metricSum(snap, "hfetch_prefetch_timely_total")
+		late := metricSum(snap, "hfetch_prefetch_late_total")
+		wasted := metricSum(snap, "hfetch_prefetch_wasted_total")
+		redundant := metricSum(snap, "hfetch_prefetch_redundant_total")
+		if timely+late+wasted+redundant == 0 && metricSum(snap, "hfetch_lifecycle_active") == 0 {
+			fmt.Println("prefetch effectiveness: (lifecycle tracing disabled or no prefetches yet)")
+		} else {
+			fmt.Printf("prefetch   timely %-8d late %-8d wasted %-8d redundant %-8d\n",
+				timely, late, wasted, redundant)
+			fmt.Printf("           effectiveness %.1f%% (rolling)   traces active %d, completed %d, dropped %d\n",
+				float64(metricSum(snap, "hfetch_prefetch_effectiveness_ppm"))/1e4,
+				metricSum(snap, "hfetch_lifecycle_active"),
+				metricSum(snap, "hfetch_lifecycle_completed_total"),
+				metricSum(snap, "hfetch_lifecycle_dropped_total"))
+			if h := metricHist(snap, "hfetch_prefetch_lead_nanos"); h != nil && h.Count > 0 {
+				fmt.Printf("           lead time p50 %v p99 %v max %v\n",
+					dur(h.Quantile(0.5)), dur(h.Quantile(0.99)), dur(h.Max))
+			}
+		}
+	}
+}
+
+// metricSum sums all series of one metric family across labels.
+func metricSum(snap telemetry.Snapshot, name string) int64 {
+	var v int64
+	for _, m := range snap.Metrics {
+		if m.Name == name && m.Hist == nil {
+			v += m.Value
+		}
+	}
+	return v
+}
+
+// metricByLabel maps a family's rendered label string to its value.
+func metricByLabel(snap telemetry.Snapshot, name string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, m := range snap.Metrics {
+		if m.Name == name && m.Hist == nil {
+			out[m.Labels] += m.Value
+		}
+	}
+	return out
+}
+
+// metricHist returns the merged histogram of one family (nil when absent).
+func metricHist(snap telemetry.Snapshot, name string) *telemetry.HistSnapshot {
+	var out *telemetry.HistSnapshot
+	for _, m := range snap.Metrics {
+		if m.Name == name && m.Hist != nil {
+			if out == nil {
+				h := *m.Hist
+				out = &h
+			} else {
+				out.Merge(*m.Hist)
+			}
+		}
+	}
+	return out
 }
 
 // printMetrics renders a telemetry snapshot for humans: counters and
@@ -198,6 +334,8 @@ commands:
   tiers                     show tier occupancy
   metrics [raw]             show telemetry (raw = Prometheus text)
   spans                     show sampled pipeline spans
+  trace [-csv] [-o file]    export lifecycle traces (Perfetto JSON; -csv = access log)
+  top [-interval d] [-n k]  live status view (hit ratio, tiers, mover, effectiveness)
   create <name> <size>      register a synthetic file
   read <name> <off> <len>   read through the prefetcher`)
 	os.Exit(2)

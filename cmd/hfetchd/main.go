@@ -3,23 +3,26 @@
 // monitor and the hierarchical data placement engine, and serves the
 // agent protocol (open/read/write/close + admin/ctl) over TCP. When
 // http_listen is configured it also serves the observability API:
-// /metrics (Prometheus text), /healthz, /stats, /tiers, /spans, and
-// /debug/pprof.
+// /metrics (Prometheus text), /healthz, /stats, /tiers, /spans,
+// /debug/trace (Perfetto-loadable lifecycle traces), and /debug/pprof.
 //
 // Usage:
 //
 //	hfetchd [-config hfetch.json] [-listen addr] [-write-default path]
+//	        [-log-level info] [-log-format text|json]
 //
 // Agents connect with internal/core/remote.Dial (see examples/remote in
-// the README) or via cmd/hfetchctl for inspection.
+// the README) or via cmd/hfetchctl for inspection (see hfetchctl top and
+// hfetchctl trace).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -45,11 +48,17 @@ func main() {
 	moverQueueDepth := flag.Int("mover-queue-depth", 0, "override the per-tier mover queue bound (0 = config/default 256)")
 	fetchCoalesce := flag.Bool("fetch-coalesce", true, "merge adjacent queued PFS fetches into one origin read")
 	fetchWaitMS := flag.Float64("fetch-wait-ms", -1, "bounded read wait for an in-flight fetch in ms (-1 = config/default 2)")
+	logLevel := flag.String("log-level", "", "minimum log level: debug, info, warn, error (default config/info)")
+	logFormat := flag.String("log-format", "", "log encoding: text or json (default config/text)")
 	flag.Parse()
+
+	// Bootstrap logger for errors before the config is loaded; replaced
+	// by the configured one below.
+	logger := newLogger("info", "text")
 
 	if *writeDefault != "" {
 		if err := config.Default().Save(*writeDefault); err != nil {
-			log.Fatalf("hfetchd: %v", err)
+			fail(logger, "write default config", err)
 		}
 		fmt.Printf("wrote default configuration to %s\n", *writeDefault)
 		return
@@ -60,7 +69,7 @@ func main() {
 		var err error
 		cfg, err = config.Load(*cfgPath)
 		if err != nil {
-			log.Fatalf("hfetchd: %v", err)
+			fail(logger, "load config", err)
 		}
 	}
 	if *listen != "" {
@@ -79,15 +88,21 @@ func main() {
 			cfg.FetchCoalesce = *fetchCoalesce
 		case "fetch-wait-ms":
 			cfg.FetchWaitMS = *fetchWaitMS
+		case "log-level":
+			cfg.LogLevel = *logLevel
+		case "log-format":
+			cfg.LogFormat = *logFormat
 		}
 	})
 	if err := cfg.Validate(); err != nil {
-		log.Fatalf("hfetchd: %v", err)
+		fail(logger, "validate config", err)
 	}
+	logger = newLogger(cfg.LogLevel, cfg.LogFormat)
+	slog.SetDefault(logger)
 
 	srv, fs, err := build(cfg)
 	if err != nil {
-		log.Fatalf("hfetchd: %v", err)
+		fail(logger, "build server", err)
 	}
 	srv.Start()
 	defer srv.Stop()
@@ -98,11 +113,16 @@ func main() {
 	remote.ServeAdmin(mux, fs)
 	ts, err := comm.ListenTCP(cfg.Listen, mux)
 	if err != nil {
-		log.Fatalf("hfetchd: %v", err)
+		fail(logger, "listen", err)
 	}
 	defer ts.Close()
-	log.Printf("hfetchd: node %s serving on %s (%d tiers, segment %d bytes)",
-		cfg.Node, ts.Addr(), len(cfg.Tiers), cfg.SegmentSize)
+	logger.Info("serving agent protocol",
+		"component", "daemon",
+		"node", cfg.Node,
+		"addr", ts.Addr(),
+		"tiers", len(cfg.Tiers),
+		"segment_bytes", cfg.SegmentSize,
+		"async_mover", cfg.AsyncMover)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -116,7 +136,10 @@ func main() {
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("hfetchd: observability API on http://%s (/metrics /healthz /stats /tiers /spans /debug/pprof)", cfg.HTTPListen)
+			logger.Info("serving observability API",
+				"component", "http",
+				"addr", cfg.HTTPListen,
+				"endpoints", "/metrics /healthz /stats /tiers /spans /debug/trace /debug/pprof")
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				httpErr <- err
 			}
@@ -125,17 +148,35 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		log.Printf("hfetchd: shutting down")
+		logger.Info("shutting down", "component", "daemon")
 	case err := <-httpErr:
-		log.Printf("hfetchd: observability API: %v", err)
+		logger.Error("observability API failed", "component", "http", "err", err)
 	}
 	if httpSrv != nil {
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shCtx); err != nil {
-			log.Printf("hfetchd: http shutdown: %v", err)
+			logger.Warn("http shutdown", "component", "http", "err", err)
 		}
 	}
+}
+
+// newLogger builds the daemon's structured logger; every record carries
+// at least a component attribute at the call sites.
+func newLogger(level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: config.Config{LogLevel: level}.SlogLevel()}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h)
+}
+
+func fail(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "component", "daemon", "err", err)
+	os.Exit(1)
 }
 
 // build assembles the server from the configuration.
@@ -199,6 +240,9 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 		reg.EnableSpans(size, every)
 		if cfg.TimeSampleEvery > 0 {
 			reg.SetTimeSampling(cfg.TimeSampleEvery)
+		}
+		if !cfg.DisableLifecycle {
+			reg.EnableLifecycle(cfg.LifecycleRing, cfg.LifecycleSampleEvery, cfg.LifecycleMaxActive)
 		}
 		scfg.Telemetry = reg
 	}

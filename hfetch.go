@@ -113,6 +113,22 @@ type Config struct {
 	// each node keeps when telemetry is on (defaults 256 and 16).
 	SpanLogSize     int
 	SpanSampleEvery int
+	// EnableLifecycle attaches the causal segment tracer and the
+	// prefetch-effectiveness ledger to each node's registry (requires
+	// EnableTelemetry). Every prefetch is then classified
+	// timely/late/wasted/redundant, and whole-lifecycle traces are kept in
+	// a fixed-memory flight recorder (export with hfetchctl trace).
+	EnableLifecycle bool
+	// LifecycleRing is the completed-trace flight-recorder size (default
+	// telemetry.DefaultLifecycleRing).
+	LifecycleRing int
+	// LifecycleSampleEvery samples one event-rooted trace in every N
+	// access events (default telemetry.DefaultLifecycleSampleEvery; 1
+	// traces everything — tests and debugging only).
+	LifecycleSampleEvery int
+	// LifecycleMaxActive caps in-flight traces (default
+	// telemetry.DefaultLifecycleMaxActive).
+	LifecycleMaxActive int
 	// TimeSampleEvery sets how often hot-path latency observations read
 	// the clock: one in every N operations (default
 	// telemetry.DefaultTimeSampleEvery; 1 times everything). Counters are
@@ -265,6 +281,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			reg.EnableSpans(cfg.SpanLogSize, cfg.SpanSampleEvery)
 			if cfg.TimeSampleEvery > 0 {
 				reg.SetTimeSampling(cfg.TimeSampleEvery)
+			}
+			if cfg.EnableLifecycle {
+				reg.EnableLifecycle(cfg.LifecycleRing, cfg.LifecycleSampleEvery, cfg.LifecycleMaxActive)
 			}
 			srvCfg.Telemetry = reg
 		}

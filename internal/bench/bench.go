@@ -16,7 +16,9 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -51,6 +53,9 @@ type Options struct {
 	Rev string
 	// Now stamps the report; zero means "caller fills it in".
 	Now time.Time
+	// TracePath, when non-empty, exports the read scenario's lifecycle
+	// traces as Chrome trace_event JSON (Perfetto-loadable) to this file.
+	TracePath string
 }
 
 func (o Options) withDefaults() Options {
@@ -175,8 +180,10 @@ func Run(o Options, logf func(format string, args ...any)) (Report, error) {
 	if err != nil {
 		return rep, fmt.Errorf("reads: %w", err)
 	}
-	logf("reads  %d clients: hit ratio %.3f over %d segment reads",
-		reads.Clients, reads.HitRatio, reads.SegmentsRead)
+	logf("reads  %d clients: hit ratio %.3f over %d segment reads; prefetch timely %d late %d wasted %d redundant %d (lead p99 %.0fµs)",
+		reads.Clients, reads.HitRatio, reads.SegmentsRead,
+		reads.Prefetch.Timely, reads.Prefetch.Late, reads.Prefetch.Wasted,
+		reads.Prefetch.Redundant, reads.Prefetch.LeadP99us)
 	rep.Reads = &reads
 
 	movement, err := runMovement(o)
@@ -184,8 +191,9 @@ func Run(o Options, logf func(format string, args ...any)) (Report, error) {
 		return rep, fmt.Errorf("movement: %w", err)
 	}
 	for _, v := range []MovementVariant{movement.Sync, movement.Async} {
-		logf("move   %-5s: decide p99 %9.1fµs  hit %.3f  queue max %3d  coalesced %4d  stalls %d (%d rescued)",
-			v.Mode, v.Decide.P99us, v.HitRatio, v.MaxQueueDepth, v.Coalesced, v.Stalls, v.StallRescues)
+		logf("move   %-5s: decide p99 %9.1fµs  hit %.3f  queue max %3d  coalesced %4d  stalls %d (%d rescued)  prefetch %d/%d/%d/%d t/l/w/r",
+			v.Mode, v.Decide.P99us, v.HitRatio, v.MaxQueueDepth, v.Coalesced, v.Stalls, v.StallRescues,
+			v.Prefetch.Timely, v.Prefetch.Late, v.Prefetch.Wasted, v.Prefetch.Redundant)
 	}
 	logf("move   decision speedup %.1fx (sync p99 / async p99)", movement.DecisionSpeedup)
 	rep.Movement = &movement
@@ -210,6 +218,7 @@ func drainConfig(shards, workers, daemons int) hfetch.Config {
 		WorkersPerShard: workers,
 		DaemonThreads:   daemons,
 		EnableTelemetry: true,
+		EnableLifecycle: true,
 		TimeSampleEvery: 8,
 		// Low reactiveness: the engine still runs (its decision passes are
 		// measured as the place stage) but its background data movement is
@@ -370,11 +379,45 @@ func runReads(o Options) (ReadResult, error) {
 		Clients:      clients,
 		SegmentsRead: totalReads,
 		Stages:       stageLats(node.Telemetry(), telemetry.StageFetch, telemetry.StageClientRead),
+		Prefetch:     effectiveness(node.Telemetry()),
 	}
 	if hits+misses > 0 {
 		res.HitRatio = float64(hits) / float64(hits+misses)
 	}
+	if o.TracePath != "" {
+		if err := exportTrace(node, o.TracePath); err != nil {
+			return res, fmt.Errorf("trace export: %w", err)
+		}
+	}
 	return res, nil
+}
+
+// exportTrace writes the node's lifecycle traces (completed and
+// in-flight) as Chrome trace_event JSON.
+func exportTrace(node *hfetch.Node, path string) error {
+	lc := node.Telemetry().Lifecycle()
+	var buf bytes.Buffer
+	if err := telemetry.WriteTraceJSON(&buf, node.Server().Node(), lc.Export()); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// effectiveness collects the prefetch ledger's counts and lead-time
+// quantiles from a node's registry.
+func effectiveness(reg *telemetry.Registry) Effectiveness {
+	lc := reg.Lifecycle()
+	if lc == nil {
+		return Effectiveness{}
+	}
+	var e Effectiveness
+	e.Timely, e.Late, e.Wasted, e.Redundant = lc.EffCounts()
+	if h := lc.LeadHist(); h != nil {
+		s := h.Snapshot()
+		e.LeadP50us = float64(s.Quantile(0.50)) / 1e3
+		e.LeadP99us = float64(s.Quantile(0.99)) / 1e3
+	}
+	return e
 }
 
 // stageLats summarizes the named pipeline stages' histograms in

@@ -76,16 +76,17 @@ func TestRunShortProducesValidReport(t *testing.T) {
 
 func TestValidateRejectsBadDocuments(t *testing.T) {
 	cases := map[string]string{
-		"not json":        `{`,
-		"wrong version":   `{"schema_version": 99}`,
-		"empty":           `{}`,
-		"missing drain":   `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1}`,
-		"bad pipeline":    `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"weird"}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
-		"bad hit ratio":   `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"reads":{"hit_ratio":1.5}}`,
-		"zero throughput": `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"sharded","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":0,"stages":{}}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
+		"not json":                  `{`,
+		"wrong version":             `{"schema_version": 99}`,
+		"empty":                     `{}`,
+		"missing drain":             `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1}`,
+		"bad pipeline":              `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"weird"}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
+		"bad hit ratio":             `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"reads":{"hit_ratio":1.5}}`,
+		"zero throughput":           `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"sharded","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":0,"stages":{}}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}]}`,
 		"movement without variants": `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"movement":{}}`,
 		"movement no passes":        `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"movement":{"sync":{"mode":"sync","hit_ratio":0.5,"decide":{"count":0}},"async":{"mode":"async","hit_ratio":0.5,"decide":{"count":0}},"decision_speedup":2}}`,
 		"movement bad speedup":      `{"schema_version":1,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[],"comparisons":[],"movement":{"sync":{"mode":"sync","hit_ratio":0.5,"decide":{"count":1,"p50_us":1,"p99_us":1,"mean_us":1}},"async":{"mode":"async","hit_ratio":0.5,"decide":{"count":1,"p50_us":1,"p99_us":1,"mean_us":1}},"decision_speedup":0}}`,
+		"reads missing prefetch":    `{"schema_version":2,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"sharded","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":1,"stages":{"queue_wait":{"p50_us":1,"p99_us":1,"mean_us":1,"count":1},"audit":{"p50_us":1,"p99_us":1,"mean_us":1,"count":1}}},{"pipeline":"legacy","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":1,"stages":{"queue_wait":{"p50_us":1,"p99_us":1,"mean_us":1,"count":1},"audit":{"p50_us":1,"p99_us":1,"mean_us":1,"count":1}}}],"comparisons":[{"sharded_eps":1,"legacy_eps":1,"speedup":1}],"reads":{"hit_ratio":0.5}}`,
 	}
 	for name, doc := range cases {
 		if errs := Validate([]byte(doc)); len(errs) == 0 {

@@ -50,6 +50,7 @@ func movementConfig(shards int, short, async bool) hfetch.Config {
 		EventShards:     shards,
 		WorkersPerShard: 1,
 		EnableTelemetry: true,
+		EnableLifecycle: true,
 		TimeSampleEvery: 1,
 		// Low interval + small threshold: passes fire while the previous
 		// pass's moves are still in flight, which is the overlap under test.
@@ -224,6 +225,7 @@ func runMovementVariant(o Options, async bool) (MovementVariant, error) {
 	stall := reg.Histogram("hfetch_read_stall_nanos", "").Snapshot()
 	v.StallP50us = float64(stall.Quantile(0.50)) / 1e3
 	v.StallP99us = float64(stall.Quantile(0.99)) / 1e3
+	v.Prefetch = effectiveness(reg)
 	return v, nil
 }
 

@@ -8,8 +8,32 @@ import (
 // SchemaVersion is the version stamped into every report. Consumers of
 // BENCH_*.json must check it before interpreting fields; additions bump
 // the minor conventions in BENCHMARKS.md, incompatible changes bump this
-// number.
-const SchemaVersion = 1
+// number. Version 2 added the prefetch-effectiveness block (timely /
+// late / wasted / redundant counts and lead-time quantiles) to the reads
+// and movement scenarios.
+const SchemaVersion = 2
+
+// Effectiveness summarizes the prefetch-effectiveness ledger for one
+// scenario run: how each prefetched segment's lifecycle ended, and the
+// lead time (landing to first read) for the timely ones.
+type Effectiveness struct {
+	Timely    int64   `json:"timely"`
+	Late      int64   `json:"late"`
+	Wasted    int64   `json:"wasted"`
+	Redundant int64   `json:"redundant"`
+	LeadP50us float64 `json:"lead_p50_us"`
+	LeadP99us float64 `json:"lead_p99_us"`
+}
+
+// Ratio returns (timely+late)/total — the fraction of prefetches that
+// served a read at all (0 when nothing was prefetched).
+func (e Effectiveness) Ratio() float64 {
+	total := e.Timely + e.Late + e.Wasted + e.Redundant
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Timely+e.Late) / float64(total)
+}
 
 // StageLat summarizes one pipeline stage's latency histogram.
 type StageLat struct {
@@ -47,6 +71,9 @@ type ReadResult struct {
 	SegmentsRead int64               `json:"segments_read"`
 	HitRatio     float64             `json:"hit_ratio"`
 	Stages       map[string]StageLat `json:"stages"`
+	// Prefetch classifies every prefetched segment's outcome from the
+	// lifecycle ledger.
+	Prefetch Effectiveness `json:"prefetch"`
 }
 
 // MovementVariant is one engine mode's run of the movement scenario:
@@ -76,6 +103,9 @@ type MovementVariant struct {
 	StallRescues int64   `json:"stall_rescues"`
 	StallP50us   float64 `json:"stall_p50_us"`
 	StallP99us   float64 `json:"stall_p99_us"`
+	// Prefetch classifies every prefetched segment's outcome from the
+	// lifecycle ledger.
+	Prefetch Effectiveness `json:"prefetch"`
 }
 
 // MovementResult pairs the two engine modes over the identical burst
@@ -126,6 +156,18 @@ func Validate(raw []byte) []error {
 	var errs []error
 	bad := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	checkPrefetch := func(where string, m map[string]any) {
+		p, ok := m["prefetch"].(map[string]any)
+		if !ok {
+			bad("%s.prefetch: missing (schema v%d requires the effectiveness block)", where, SchemaVersion)
+			return
+		}
+		for _, key := range []string{"timely", "late", "wasted", "redundant", "lead_p50_us", "lead_p99_us"} {
+			if v, ok := p[key].(float64); !ok || v < 0 {
+				bad("%s.prefetch.%s: missing or < 0", where, key)
+			}
+		}
 	}
 
 	if v, ok := doc["schema_version"].(float64); !ok {
@@ -238,6 +280,11 @@ func Validate(raw []byte) []error {
 					}
 				}
 			}
+			for _, mode := range []string{"sync", "async"} {
+				if vm, ok := m[mode].(map[string]any); ok {
+					checkPrefetch("movement."+mode, vm)
+				}
+			}
 			if v, ok := m["decision_speedup"].(float64); !ok || v <= 0 {
 				bad("movement.decision_speedup: missing or <= 0")
 			}
@@ -248,8 +295,11 @@ func Validate(raw []byte) []error {
 		m, ok := r.(map[string]any)
 		if !ok {
 			bad("reads: not an object")
-		} else if hr, ok := m["hit_ratio"].(float64); !ok || hr < 0 || hr > 1 {
-			bad("reads.hit_ratio: missing or outside [0,1]")
+		} else {
+			if hr, ok := m["hit_ratio"].(float64); !ok || hr < 0 || hr > 1 {
+				bad("reads.hit_ratio: missing or outside [0,1]")
+			}
+			checkPrefetch("reads", m)
 		}
 	}
 	return errs

@@ -7,6 +7,7 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 )
@@ -52,6 +53,25 @@ type Config struct {
 	// TimeSampleEvery times one in every N hot-path operations for the
 	// latency histograms (default 8; 1 times everything).
 	TimeSampleEvery int `json:"time_sample_every,omitempty"`
+	// DisableLifecycle turns off the segment lifecycle tracer and the
+	// prefetch-effectiveness ledger (on by default whenever telemetry is
+	// on; export with hfetchctl trace or GET /debug/trace).
+	DisableLifecycle bool `json:"disable_lifecycle,omitempty"`
+	// LifecycleRing is the completed-trace flight-recorder size
+	// (default 256).
+	LifecycleRing int `json:"lifecycle_ring,omitempty"`
+	// LifecycleSampleEvery roots one lifecycle trace in every N access
+	// events (default 64; prefetches are always ledgered regardless).
+	LifecycleSampleEvery int `json:"lifecycle_sample_every,omitempty"`
+	// LifecycleMaxActive caps in-flight lifecycle traces (default 4096).
+	LifecycleMaxActive int `json:"lifecycle_max_active,omitempty"`
+
+	// LogLevel selects the daemon's minimum log level: "debug", "info"
+	// (default), "warn" or "error".
+	LogLevel string `json:"log_level,omitempty"`
+	// LogFormat selects the daemon's log encoding: "text" (default) or
+	// "json".
+	LogFormat string `json:"log_format,omitempty"`
 
 	SegmentSize int64   `json:"segment_size"`
 	DecayBase   float64 `json:"decay_base"`
@@ -206,7 +226,34 @@ func (c Config) Validate() error {
 	if c.FetchWaitMS < 0 {
 		return fmt.Errorf("config: fetch_wait_ms must be >= 0, got %g", c.FetchWaitMS)
 	}
+	if c.LifecycleRing < 0 || c.LifecycleSampleEvery < 0 || c.LifecycleMaxActive < 0 {
+		return fmt.Errorf("config: lifecycle_ring, lifecycle_sample_every and lifecycle_max_active must be >= 0")
+	}
+	switch c.LogLevel {
+	case "", "debug", "info", "warn", "error":
+	default:
+		return fmt.Errorf("config: log_level must be debug, info, warn or error, got %q", c.LogLevel)
+	}
+	switch c.LogFormat {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("config: log_format must be \"text\" or \"json\", got %q", c.LogFormat)
+	}
 	return nil
+}
+
+// SlogLevel maps the configured log level onto slog's scale (info when
+// unset). Call Validate first; unknown strings also map to info.
+func (c Config) SlogLevel() slog.Level {
+	switch c.LogLevel {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
 }
 
 // FetchWait returns the read-path bounded fetch wait as a duration.

@@ -51,6 +51,10 @@ type Update struct {
 	ID    seg.ID
 	Score float64
 	Size  int64
+	// Trace is the lifecycle trace ID of the access event behind this
+	// update (0 = untraced); it lets the engine attribute the fetch it
+	// decides on back to the event that caused it.
+	Trace uint64
 }
 
 // Sink receives score updates and invalidations. Implemented by the
@@ -545,7 +549,13 @@ func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 		if a.cfg.Learner != nil {
 			sc = a.learnAndBlend(rec, ts, sc)
 		}
-		out(Update{ID: id, Score: sc, Size: rec.Size})
+		up := Update{ID: id, Score: sc, Size: rec.Size}
+		if id.Index == ids[0].Index {
+			// The event's trace is rooted at its first segment; updates
+			// for the rest of a multi-segment read stay untraced.
+			up.Trace = ev.Trace
+		}
+		out(up)
 
 		// Sequencing readahead: boost the known successor of every
 		// accessed segment so it climbs the hierarchy ahead of its read.

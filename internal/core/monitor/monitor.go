@@ -148,8 +148,16 @@ func (m *Monitor) Queue() *events.Queue { return m.queue }
 // active.
 func (m *Monitor) Sharded() *events.ShardedQueue { return m.sharded }
 
-// Post pushes one event into the queue.
+// Post pushes one event into the queue. Read events are stamped with a
+// lifecycle trace ID at this boundary — the monitor is the ingestion
+// point the paper's inotify shim corresponds to — so the trace covers
+// everything downstream.
 func (m *Monitor) Post(ev events.Event) bool {
+	if ev.Op == events.OpRead && ev.Trace == 0 {
+		if lc := m.cfg.Telemetry.Lifecycle(); lc != nil {
+			ev.Trace = lc.OnEvent(ev.File, ev.Offset, ev.Time)
+		}
+	}
 	if m.sharded != nil {
 		return m.sharded.Post(ev)
 	}

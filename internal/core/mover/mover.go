@@ -54,11 +54,14 @@ var ErrCancelled = errors.New("mover: move cancelled")
 
 // Move is one planned data movement. From/To index tiers of the
 // hierarchy; -1 means the PFS origin (for From) or eviction (for To).
+// Trace is the lifecycle trace ID of the prefetch (0 = untraced); it
+// rides along so the terminal callback can classify the outcome.
 type Move struct {
-	ID   seg.ID
-	Size int64
-	From int
-	To   int
+	ID    seg.ID
+	Size  int64
+	From  int
+	To    int
+	Trace uint64
 }
 
 // Executor performs the physical byte movement (implemented by
@@ -148,6 +151,7 @@ type op struct {
 	state     int
 	cancelled bool
 	attempts  int
+	submitted time.Time     // queue entry time, for the mover_queue span
 	next      *op           // superseding move chained behind a running op
 	done      chan struct{} // closed at terminal state
 }
@@ -270,7 +274,7 @@ func (m *Mover) Submit(moves []Move) {
 		if m.closed {
 			return
 		}
-		o := &op{mv: mv, done: make(chan struct{})}
+		o := &op{mv: mv, submitted: time.Now(), done: make(chan struct{})}
 		m.inflight[mv.ID] = o
 		m.outstanding++
 		m.ctr.submitted.Add(1)
@@ -288,13 +292,25 @@ func (m *Mover) supersedeLocked(old *op, mv Move) {
 	m.ctr.superseded.Add(1)
 	if old.state == opQueued {
 		m.spliceLocked(old)
+		wasFetch := old.mv.From < 0
+		trace := old.mv.Trace
 		old.mv.To = mv.To
 		old.mv.Size = mv.Size
+		if mv.Trace != 0 {
+			old.mv.Trace = mv.Trace
+		}
 		if old.mv.From == old.mv.To {
 			// The chain returned to its origin: nothing to move.
 			delete(m.inflight, old.mv.ID)
 			m.finishLocked(old)
 			m.ctr.cancel.Add(1)
+			// A queued fetch dropped before executing never reports
+			// through done; close its lifecycle trace here.
+			if wasFetch {
+				if lc := m.cfg.Telemetry.Lifecycle(); lc != nil {
+					lc.OnFetchAborted(old.mv.ID.File, old.mv.ID.Index, trace, "superseded")
+				}
+			}
 			return
 		}
 		m.queues[qFor(old.mv)] = append(m.queues[qFor(old.mv)], old)
@@ -313,7 +329,7 @@ func (m *Mover) supersedeLocked(old *op, mv Move) {
 		}
 		return
 	}
-	chained := Move{ID: mv.ID, Size: mv.Size, From: old.mv.To, To: mv.To}
+	chained := Move{ID: mv.ID, Size: mv.Size, From: old.mv.To, To: mv.To, Trace: mv.Trace}
 	if chained.From == chained.To {
 		return // the running move already lands where the new pass wants it
 	}
@@ -516,6 +532,17 @@ func (m *Mover) takeLocked(ti int) []*op {
 // execute runs one op group on the calling worker and completes each op.
 func (m *Mover) execute(group []*op) {
 	head := group[0]
+	if reg := m.cfg.Telemetry; reg != nil && head.attempts == 0 {
+		// Queue wait per op, first execution only (retries would double-
+		// count the stage in the lifecycle trace).
+		now := time.Now()
+		for _, o := range group {
+			if o.attempts == 0 && !o.submitted.IsZero() {
+				reg.Span(telemetry.StageMoverQueue, o.mv.ID.File, o.mv.ID.Index,
+					m.hier.Tier(qFor(o.mv)).Name(), o.submitted, now.Sub(o.submitted))
+			}
+		}
+	}
 	if head.attempts > 0 {
 		// Destination-full retry: give the space-freeing moves that the
 		// plan ordered ahead of us a beat to land.
@@ -598,6 +625,7 @@ func (m *Mover) complete(o *op, err error) {
 		} else {
 			m.inflight[next.mv.ID] = next
 			next.state = opQueued
+			next.submitted = time.Now()
 			m.queues[qFor(next.mv)] = append(m.queues[qFor(next.mv)], next)
 			m.cond.Broadcast()
 		}

@@ -165,12 +165,14 @@ type entry struct {
 }
 
 // move is one planned data movement. from/to index tiers; -1 means the
-// PFS (for from) or eviction (for to).
+// PFS (for from) or eviction (for to). trace carries the lifecycle trace
+// ID of the score update that caused the move (meaningful for fetches).
 type move struct {
-	id   seg.ID
-	size int64
-	from int
-	to   int
+	id    seg.ID
+	size  int64
+	from  int
+	to    int
+	trace uint64
 }
 
 // New creates an engine over the hierarchy, executing moves with mover
@@ -388,9 +390,9 @@ func (e *Engine) run() {
 	}
 	merged := mergePlan(plan)
 	if e.async != nil {
-		e.submitAsync(merged)
+		e.submitAsync(merged, decideStart)
 	} else {
-		e.execute(merged)
+		e.execute(merged, decideStart)
 	}
 	if e.cfg.Telemetry != nil {
 		// The decide stage is the whole pass, entry to ready-for-next:
@@ -407,14 +409,22 @@ func (e *Engine) run() {
 // space. The mover still overlaps phases — transient destination-full
 // errors there are retried, since the model guarantees the final state
 // fits.
-func (e *Engine) submitAsync(plan []move) {
+func (e *Engine) submitAsync(plan []move, passStart time.Time) {
 	if len(plan) == 0 {
 		return
 	}
+	lc := e.cfg.Telemetry.Lifecycle()
 	for _, phase := range phases(plan, e.hier.Len()) {
 		batch := make([]amover.Move, len(phase))
 		for i, mv := range phase {
-			batch[i] = amover.Move{ID: mv.id, Size: mv.size, From: mv.from, To: mv.to}
+			tr := mv.trace
+			if lc != nil && mv.from < 0 && mv.to >= 0 {
+				// The ledger opens here: every queued prefetch gets a
+				// trace ID (minted if the root event was unsampled).
+				tr = lc.OnFetchQueued(mv.id.File, mv.id.Index, mv.trace,
+					e.hier.Tier(mv.to).Name(), passStart)
+			}
+			batch[i] = amover.Move{ID: mv.id, Size: mv.size, From: mv.from, To: mv.to, Trace: tr}
 		}
 		e.async.Submit(batch)
 	}
@@ -424,11 +434,15 @@ func (e *Engine) submitAsync(plan []move) {
 // bookkeeping half of executeOne, applied when the move actually lands.
 // Called from mover workers without mover locks held.
 func (e *Engine) moveDone(mv amover.Move, err error) {
-	m := move{id: mv.ID, size: mv.Size, from: mv.From, to: mv.To}
+	m := move{id: mv.ID, size: mv.Size, from: mv.From, to: mv.To, trace: mv.Trace}
+	lc := e.cfg.Telemetry.Lifecycle()
 	if errors.Is(err, amover.ErrCancelled) {
 		// The file was invalidated mid-move; dropFile already cleaned the
 		// model and the mapping, and the mover undid any materialized
 		// payload.
+		if lc != nil && m.from < 0 && m.to >= 0 {
+			lc.OnFetchAborted(m.id.File, m.id.Index, m.trace, "superseded")
+		}
 		return
 	}
 	switch {
@@ -436,12 +450,23 @@ func (e *Engine) moveDone(mv amover.Move, err error) {
 		if err == nil {
 			e.ctr.evictions.Add(1)
 		}
+		if lc != nil {
+			lc.OnEvicted(m.id.File, m.id.Index)
+		}
 		e.aud.DeleteMapping(m.id)
 	case err != nil:
 		e.ctr.failed.Add(1)
+		if lc != nil && m.from < 0 {
+			lc.OnFetchAborted(m.id.File, m.id.Index, m.trace, "failed")
+		}
 		e.reconcile(m)
 	case m.from < 0:
 		e.ctr.placements.Add(1)
+		// Landing is recorded before the mapping flips so a read that
+		// races the flip always finds the landing already accounted.
+		if lc != nil {
+			lc.OnFetchLanded(m.id.File, m.id.Index, m.trace, e.hier.Tier(m.to).Name())
+		}
 		e.aud.SetMapping(m.id, e.hier.Tier(m.to).Name())
 	case m.to < m.from:
 		e.ctr.promotions.Add(1)
@@ -529,6 +554,11 @@ func (e *Engine) dropFile(file string) {
 	if e.async != nil {
 		e.async.CancelFile(file)
 	}
+	if lc := e.cfg.Telemetry.Lifecycle(); lc != nil {
+		// Cancelled in-flight fetches were already classified wasted via
+		// their abort callback; this sweeps the remaining open traces.
+		lc.OnInvalidated(file)
+	}
 	n := e.hier.DeleteFile(file)
 	if n > 0 {
 		e.ctr.evictions.Add(int64(n))
@@ -588,7 +618,7 @@ func (e *Engine) plan(u auditor.Update, plan *[]move) {
 	}
 	if u.Score <= e.cfg.MinScore {
 		if cur >= 0 {
-			*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1})
+			*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1, trace: u.Trace})
 		}
 		return
 	}
@@ -624,13 +654,13 @@ func (e *Engine) placeFlat(u auditor.Update, cur int, plan *[]move) {
 			e.resident[ti][u.ID] = entry{score: u.Score, size: u.Size}
 			e.used[ti] += u.Size
 			if cur != ti {
-				*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: ti})
+				*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: ti, trace: u.Trace})
 			}
 			return
 		}
 	}
 	if cur >= 0 { // nothing fits anywhere: evict
-		*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1})
+		*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1, trace: u.Trace})
 	}
 }
 
@@ -639,7 +669,7 @@ func (e *Engine) place(u auditor.Update, cur, ti int, plan *[]move) {
 	if ti >= e.hier.Len() {
 		// Below the hierarchy: not prefetched (or evicted if resident).
 		if cur >= 0 {
-			*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1})
+			*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: -1, trace: u.Trace})
 		}
 		return
 	}
@@ -658,7 +688,7 @@ func (e *Engine) place(u auditor.Update, cur, ti int, plan *[]move) {
 	e.resident[ti][u.ID] = entry{score: u.Score, size: u.Size}
 	e.used[ti] += u.Size
 	if cur != ti {
-		*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: ti})
+		*plan = append(*plan, move{id: u.ID, size: u.Size, from: cur, to: ti, trace: u.Trace})
 	}
 }
 
@@ -707,7 +737,7 @@ func (e *Engine) demoteUntilFits(u auditor.Update, ti int, plan *[]move) {
 
 // execute performs the planned moves with the worker pool, phase by
 // phase, and records mapping changes.
-func (e *Engine) execute(plan []move) {
+func (e *Engine) execute(plan []move, passStart time.Time) {
 	if len(plan) == 0 {
 		return
 	}
@@ -723,7 +753,7 @@ func (e *Engine) execute(plan []move) {
 			go func() {
 				defer wg.Done()
 				for mv := range ch {
-					e.executeOne(mv)
+					e.executeOne(mv, passStart)
 				}
 			}()
 		}
@@ -735,7 +765,8 @@ func (e *Engine) execute(plan []move) {
 	}
 }
 
-func (e *Engine) executeOne(mv move) {
+func (e *Engine) executeOne(mv move, passStart time.Time) {
+	lc := e.cfg.Telemetry.Lifecycle()
 	switch {
 	case mv.to < 0: // eviction
 		if mv.from >= 0 {
@@ -743,15 +774,29 @@ func (e *Engine) executeOne(mv move) {
 				e.ctr.evictions.Add(1)
 			}
 		}
+		if lc != nil {
+			lc.OnEvicted(mv.id.File, mv.id.Index)
+		}
 		e.aud.DeleteMapping(mv.id)
 	case mv.from < 0: // fetch from the PFS
+		tierName := e.hier.Tier(mv.to).Name()
+		trace := mv.trace
+		if lc != nil {
+			trace = lc.OnFetchQueued(mv.id.File, mv.id.Index, mv.trace, tierName, passStart)
+		}
 		if err := e.mover.Fetch(mv.id, mv.size, e.hier.Tier(mv.to)); err != nil {
 			e.ctr.failed.Add(1)
+			if lc != nil {
+				lc.OnFetchAborted(mv.id.File, mv.id.Index, trace, "failed")
+			}
 			e.reconcile(mv)
 			return
 		}
 		e.ctr.placements.Add(1)
-		e.aud.SetMapping(mv.id, e.hier.Tier(mv.to).Name())
+		if lc != nil {
+			lc.OnFetchLanded(mv.id.File, mv.id.Index, trace, tierName)
+		}
+		e.aud.SetMapping(mv.id, tierName)
 	default: // tier-to-tier transfer
 		if err := e.mover.Transfer(mv.id, e.hier.Tier(mv.from), e.hier.Tier(mv.to)); err != nil {
 			e.ctr.failed.Add(1)

@@ -20,6 +20,9 @@ import (
 //	                     the daemon runs without telemetry, a coarse
 //	                     counter-only fallback rendered from StatsReply
 //	GET /spans        -> JSON sampled pipeline spans, most recent first
+//	GET /debug/trace  -> Chrome trace_event JSON of lifecycle traces
+//	                     (load in Perfetto / chrome://tracing); ?csv=1
+//	                     switches to the access-record CSV
 //	GET /debug/pprof/ -> net/http/pprof profiles
 func NewHTTPHandler(srv *server.Server) http.Handler {
 	mux := http.NewServeMux()
@@ -43,6 +46,20 @@ func NewHTTPHandler(srv *server.Server) http.Handler {
 	mux.HandleFunc("GET /spans", func(w http.ResponseWriter, r *http.Request) {
 		recs := srv.Telemetry().Spans().Recent()
 		writeJSON(w, spansReply{Spans: recs})
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		csv := r.URL.Query().Get("csv") == "1"
+		data, err := RenderTrace(srv, csv)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if csv {
+			w.Header().Set("Content-Type", "text/csv")
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+		}
+		w.Write(data) //nolint:errcheck // best-effort HTTP body
 	})
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

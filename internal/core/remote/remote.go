@@ -30,6 +30,7 @@ const (
 	MsgTiers   = "ctl.tiers"
 	MsgMetrics = "ctl.metrics"
 	MsgSpans   = "ctl.spans"
+	MsgTrace   = "ctl.trace"
 )
 
 type openReq struct{ File string }
@@ -57,6 +58,13 @@ type closeReq struct{ File string }
 // spansReply wraps the sampled span list so an empty list still
 // round-trips through gob (a bare nil slice encodes to nothing).
 type spansReply struct{ Spans []telemetry.SpanRecord }
+
+// traceReq selects the lifecycle export format: Chrome trace_event JSON
+// (the default, loadable in Perfetto) or the legacy access-record CSV.
+// The daemon renders server-side so the wire payload is final bytes.
+type traceReq struct{ CSV bool }
+
+type traceReply struct{ Data []byte }
 
 // StatsReply is the ctl.stats payload.
 type StatsReply struct {
@@ -157,6 +165,19 @@ func Serve(mux *comm.Mux, srv *server.Server) {
 			recs = reg.Spans().Recent()
 		}
 		return enc(spansReply{Spans: recs})
+	})
+	mux.Register(MsgTrace, func(raw []byte) ([]byte, error) {
+		var req traceReq
+		if len(raw) > 0 {
+			if err := dec(raw, &req); err != nil {
+				return nil, err
+			}
+		}
+		data, err := RenderTrace(srv, req.CSV)
+		if err != nil {
+			return nil, err
+		}
+		return enc(traceReply{Data: data})
 	})
 	mux.Register(MsgTiers, func(raw []byte) ([]byte, error) {
 		var out []TierInfo
@@ -285,6 +306,44 @@ func (c *Client) Spans() ([]telemetry.SpanRecord, error) {
 	var out spansReply
 	err = dec(raw, &out)
 	return out.Spans, err
+}
+
+// RenderTrace renders the server's lifecycle export: Chrome trace_event
+// JSON (csv=false) or the access-record CSV (csv=true). Both render to
+// empty-but-valid documents when lifecycle tracing is disabled.
+func RenderTrace(srv *server.Server, csv bool) ([]byte, error) {
+	lc := srv.Telemetry().Lifecycle()
+	var buf bytes.Buffer
+	if csv {
+		var samples []telemetry.AccessSample
+		if lc != nil {
+			samples = lc.AccessLog().Samples()
+		}
+		if err := telemetry.WriteAccessCSV(&buf, samples); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	if err := telemetry.WriteTraceJSON(&buf, srv.Node(), lc.Export()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Trace fetches the daemon's lifecycle trace export: Perfetto-loadable
+// trace_event JSON, or the access-record CSV when csv is set.
+func (c *Client) Trace(csv bool) ([]byte, error) {
+	req, err := enc(traceReq{CSV: csv})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.peer.Request(MsgTrace, req)
+	if err != nil {
+		return nil, err
+	}
+	var out traceReply
+	err = dec(raw, &out)
+	return out.Data, err
 }
 
 // Tiers queries the daemon's tier occupancy.

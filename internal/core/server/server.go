@@ -175,6 +175,9 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		s.tele = reg
+		if lc := reg.Lifecycle(); lc != nil {
+			lc.SetGrain(segr.Size())
+		}
 		s.hitVec = reg.CounterVec("hfetch_tier_read_hits_total", "segment reads served from the tier", "tier")
 		s.missCtr = reg.Counter("hfetch_read_misses_total", "segment reads that fell back to the PFS")
 		s.readHist = reg.HistVec("hfetch_tier_read_nanos", "prefetched-read latency by serving tier in nanoseconds", "tier")
@@ -355,7 +358,9 @@ func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier str
 	if timed {
 		start = time.Now()
 	}
+	lc := s.tele.Lifecycle()
 	n, tier, ok = s.serve(id, off, p)
+	stalled := false
 	if !ok && s.cfg.FetchWait > 0 {
 		if waited, landed := s.eng.WaitInflight(id, s.cfg.FetchWait); waited > 0 {
 			s.stalls.Add(1)
@@ -365,13 +370,23 @@ func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier str
 			if landed {
 				if n, tier, ok = s.serve(id, off, p); ok {
 					s.stallRescues.Add(1)
+					stalled = true
 				}
 			}
 		}
 	}
 	if !ok {
+		if lc != nil {
+			lc.OnReadMiss(id.File, id.Index)
+		}
 		s.miss(int64(len(p)))
+		if timed {
+			s.sampleAccess(lc, id, off, len(p), "", start)
+		}
 		return 0, "", false
+	}
+	if lc != nil {
+		lc.OnReadHit(id.File, id.Index, tier, stalled)
 	}
 	s.iostats.Hit(tier, int64(n))
 	s.hitVec.With(tier).Inc()
@@ -379,8 +394,30 @@ func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier str
 		d := time.Since(start)
 		s.iostats.ObserveRead(d)
 		s.readHist.With(tier).Observe(int64(d))
+		s.sampleAccess(lc, id, off, len(p), tier, start)
 	}
 	return n, tier, true
+}
+
+// sampleAccess feeds the folded access recorder, reusing the read path's
+// existing time sample so no extra clock reads happen off-sample. Tier is
+// empty for misses.
+func (s *Server) sampleAccess(lc *telemetry.Lifecycle, id seg.ID, off int64, length int, tier string, start time.Time) {
+	if lc == nil {
+		return
+	}
+	al := lc.AccessLog()
+	if al == nil {
+		return
+	}
+	al.Record(telemetry.AccessSample{
+		When:    start,
+		File:    id.File,
+		Offset:  id.Index*s.segr.Size() + off,
+		Length:  int64(length),
+		Tier:    tier,
+		Latency: time.Since(start),
+	})
 }
 
 // serve resolves the segment mapping and reads from the resolved tier,

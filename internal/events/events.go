@@ -56,6 +56,11 @@ type Event struct {
 	Tier string
 	// Free is the remaining capacity for OpCapacity events.
 	Free int64
+	// Trace is the lifecycle trace ID stamped at monitor ingestion
+	// (0 = untraced). It rides the event through the auditor into the
+	// placement update so a prefetch can be attributed to the access
+	// that caused it.
+	Trace uint64
 }
 
 // Registry implements the watch table: files gain a watch when the first

@@ -1,0 +1,201 @@
+package telemetry
+
+import "time"
+
+// The effectiveness ledger: every prefetched segment gets an entry at
+// fetch-queue time (unconditionally — fetches are rare compared to
+// reads) and is classified exactly once, at its first read or at the
+// terminal event that makes a read impossible. Entry removal from the
+// stripe map *is* the classification barrier: whichever hook removes the
+// entry counts it, so concurrent eviction/invalidation/read races cannot
+// double-count.
+
+// OnFetchQueued records a placement decision to fetch (file, seg) into
+// tier. trace is the event-rooted trace ID carried through the auditor
+// (0 when the event was not sampled); when the segment has no in-flight
+// trace, one is created so the ledger covers every prefetch. The
+// decision span (passStart → now) is appended as the "decide" stage.
+// Returns the trace ID the fetch should carry through the mover.
+func (lc *Lifecycle) OnFetchQueued(file string, seg int64, trace uint64, tier string, passStart time.Time) uint64 {
+	if lc == nil || seg < 0 {
+		return trace
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.m[k]
+	if !ok {
+		t = &live{id: lc.nextID.Add(1), born: now}
+		if trace != 0 {
+			t.id = trace
+		}
+		lc.insertLocked(st, k, t)
+	}
+	if !t.fetchQueued {
+		t.fetchQueued = true
+		lc.fetchActive.Add(1)
+	}
+	t.events = append(t.events, TraceEvent{Stage: StageDecide, Tier: tier, Start: passStart, Nanos: int64(now.Sub(passStart))})
+	return t.id
+}
+
+// OnFetchLanded records a fetch arriving in its tier. A landing for a
+// dead generation (the entry was already classified — say, invalidated
+// mid-flight — or a newer generation owns the key) is ignored: the
+// classification already happened and each generation counts once. A
+// landing after the demand read was served from the PFS classifies
+// redundant and retires the entry.
+func (lc *Lifecycle) OnFetchLanded(file string, seg int64, trace uint64, tier string) {
+	if lc == nil || seg < 0 || lc.fetchActive.Load() == 0 {
+		return
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.m[k]
+	if !ok || (trace != 0 && t.id != trace) {
+		return
+	}
+	if t.landed {
+		// Duplicate landing of one generation: the second copy is
+		// redundant work, but the entry stays open for its read.
+		lc.redundant.Add(1)
+		lc.window.add(ClassRedundant)
+		return
+	}
+	t.landed = true
+	t.landTime = now
+	t.events = append(t.events, TraceEvent{Stage: StageLand, Tier: tier, Start: now})
+	if t.missServed {
+		delete(st.m, k)
+		lc.classify(k, t, ClassRedundant, TraceEvent{})
+	}
+}
+
+// OnReadHit records an application read served from a tier. For a
+// fetch-bearing entry this is the classification point: stalled reads
+// (the WaitFor rescue) classify late, reads of an already-landed segment
+// classify timely with the land→read lead time. Event-rooted traces
+// without a fetch complete unclassified.
+func (lc *Lifecycle) OnReadHit(file string, seg int64, tier string, stalled bool) {
+	if lc == nil || seg < 0 || lc.active.Load() == 0 {
+		return
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.m[k]
+	if !ok {
+		return
+	}
+	now := time.Now()
+	delete(st.m, k)
+	t.events = append(t.events, TraceEvent{Stage: StageRead, Tier: tier, Start: now})
+	switch {
+	case t.fetchQueued && stalled:
+		lc.classify(k, t, ClassLate, TraceEvent{})
+	case t.fetchQueued && t.landed:
+		lc.lead.Observe(int64(now.Sub(t.landTime)))
+		lc.classify(k, t, ClassTimely, TraceEvent{})
+	case t.fetchQueued:
+		// Hit without a recorded landing (e.g. the landing callback has
+		// not run yet): the data was there in time, count it timely
+		// without a lead sample.
+		lc.classify(k, t, ClassTimely, TraceEvent{})
+	default:
+		lc.classify(k, t, ClassNone, TraceEvent{})
+	}
+}
+
+// OnReadMiss records a demand read that fell through to the PFS while a
+// fetch for the segment was queued or in flight: when that fetch lands,
+// it is redundant. Cheap no-op when no fetches are outstanding.
+func (lc *Lifecycle) OnReadMiss(file string, seg int64) {
+	if lc == nil || seg < 0 || lc.fetchActive.Load() == 0 {
+		return
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	st.mu.Lock()
+	if t, ok := st.m[k]; ok && t.fetchQueued && !t.landed {
+		t.missServed = true
+	}
+	st.mu.Unlock()
+}
+
+// OnEvicted records (file, seg) leaving the hierarchy. An unread
+// fetch-bearing entry classifies wasted; an event-rooted trace completes
+// unclassified.
+func (lc *Lifecycle) OnEvicted(file string, seg int64) {
+	if lc == nil || seg < 0 || lc.active.Load() == 0 {
+		return
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.m[k]
+	if !ok {
+		return
+	}
+	delete(st.m, k)
+	term := TraceEvent{Stage: StageEvicted, Start: time.Now()}
+	if t.fetchQueued {
+		lc.classify(k, t, ClassWasted, term)
+	} else {
+		lc.classify(k, t, ClassNone, term)
+	}
+}
+
+// OnFetchAborted records a fetch that will never land: superseded by a
+// newer placement decision, cancelled, or failed. reason becomes the
+// terminal marker's tier slot ("superseded", "failed"). The generation
+// is matched by trace ID so an abort of a stale move cannot kill a newer
+// generation's entry.
+func (lc *Lifecycle) OnFetchAborted(file string, seg int64, trace uint64, reason string) {
+	if lc == nil || seg < 0 || lc.fetchActive.Load() == 0 {
+		return
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.m[k]
+	if !ok || (trace != 0 && t.id != trace) || !t.fetchQueued {
+		return
+	}
+	delete(st.m, k)
+	lc.classify(k, t, ClassWasted, TraceEvent{Stage: StageAborted, Tier: reason, Start: time.Now()})
+}
+
+// OnInvalidated ends every in-flight trace of file: a write made all
+// prefetched data stale. Unread fetch-bearing entries classify wasted.
+// This scans all stripes — invalidation is rare.
+func (lc *Lifecycle) OnInvalidated(file string) {
+	if lc == nil || lc.active.Load() == 0 {
+		return
+	}
+	now := time.Now()
+	for i := range lc.stripes {
+		st := &lc.stripes[i]
+		st.mu.Lock()
+		for k, t := range st.m {
+			if k.file != file {
+				continue
+			}
+			delete(st.m, k)
+			term := TraceEvent{Stage: StageInvalidated, Start: now}
+			if t.fetchQueued {
+				lc.classify(k, t, ClassWasted, term)
+			} else {
+				lc.classify(k, t, ClassNone, term)
+			}
+		}
+		st.mu.Unlock()
+	}
+}

@@ -144,7 +144,9 @@ func (r *Registry) StageHist(stage string) *Histogram {
 
 // Span records one pipeline stage execution: the duration lands in the
 // stage's aggregate histogram and, when a span log is enabled, the span
-// may be sampled into it. Nil-safe; with a nil registry this is a
+// may be sampled into it. When lifecycle tracing is enabled and the
+// segment has an in-flight trace, the span also joins that trace —
+// no call-site changes needed. Nil-safe; with a nil registry this is a
 // single branch.
 func (r *Registry) Span(stage, file string, segIdx int64, tier string, start time.Time, d time.Duration) {
 	if r == nil {
@@ -153,5 +155,8 @@ func (r *Registry) Span(stage, file string, segIdx int64, tier string, start tim
 	r.StageHist(stage).Observe(int64(d))
 	if l := r.spans.Load(); l != nil {
 		l.record(SpanRecord{Stage: stage, File: file, Seg: segIdx, Tier: tier, Start: start, Nanos: int64(d)})
+	}
+	if lc := r.lifecycle.Load(); lc != nil {
+		lc.Record(stage, file, segIdx, tier, start, d)
 	}
 }

@@ -121,6 +121,7 @@ type Registry struct {
 	order    []*family
 
 	spans      atomic.Pointer[SpanLog]
+	lifecycle  atomic.Pointer[Lifecycle]
 	stageHists sync.Map // stage string -> *Histogram
 
 	sampleCtr   atomic.Uint64

@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace export in the Chrome trace_event JSON format, loadable by
+// chrome://tracing and by Perfetto's legacy-JSON importer: one "thread"
+// (tid) per lifecycle trace, duration ("X") events for timed stages and
+// instant ("i") events for markers, timestamps in microseconds.
+
+// WriteTraceJSON renders lifecycle traces as a Chrome trace_event
+// document. node labels the process in otherData.
+func WriteTraceJSON(w io.Writer, node string, recs []TraceRecord) error {
+	evs := make([]map[string]any, 0, len(recs)*4)
+	for _, rec := range recs {
+		label := fmt.Sprintf("%s#%d", rec.File, rec.Seg)
+		if rec.Done {
+			label += " [" + rec.Class.String() + "]"
+		}
+		evs = append(evs, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": rec.ID,
+			"args": map[string]any{"name": label},
+		})
+		for _, e := range rec.Events {
+			ev := map[string]any{
+				"name": e.Stage,
+				"cat":  "hfetch",
+				"pid":  1,
+				"tid":  rec.ID,
+				"ts":   float64(e.Start.UnixNano()) / 1e3,
+				"args": map[string]any{
+					"file": rec.File, "seg": rec.Seg,
+					"tier": e.Tier, "class": rec.Class.String(),
+					"trace_id": rec.ID,
+				},
+			}
+			if e.Nanos > 0 {
+				ev["ph"] = "X"
+				ev["dur"] = float64(e.Nanos) / 1e3
+			} else {
+				ev["ph"] = "i"
+				ev["s"] = "t"
+			}
+			evs = append(evs, ev)
+		}
+	}
+	doc := map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+		"otherData":       map[string]any{"node": node, "format": "hfetch-lifecycle"},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ValidateTraceJSON checks raw against the exported trace schema:
+// a traceEvents array whose members carry name/ph/pid/tid, a numeric ts
+// on phase X and i events, and a non-negative dur on X events. Like
+// bench.Validate it is hand-rolled and returns every violation.
+func ValidateTraceJSON(raw []byte) []error {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return []error{fmt.Errorf("not valid JSON: %w", err)}
+	}
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	evs, ok := doc["traceEvents"].([]any)
+	if !ok {
+		return append(errs, fmt.Errorf("traceEvents: missing or not an array"))
+	}
+	for i, e := range evs {
+		m, ok := e.(map[string]any)
+		if !ok {
+			bad("traceEvents[%d]: not an object", i)
+			continue
+		}
+		if s, ok := m["name"].(string); !ok || s == "" {
+			bad("traceEvents[%d].name: missing or empty", i)
+		}
+		ph, _ := m["ph"].(string)
+		if ph != "X" && ph != "i" && ph != "M" {
+			bad("traceEvents[%d].ph: got %q, want X|i|M", i, ph)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := m[key].(float64); !ok {
+				bad("traceEvents[%d].%s: missing or not a number", i, key)
+			}
+		}
+		if ph == "X" || ph == "i" {
+			if ts, ok := m["ts"].(float64); !ok || ts < 0 {
+				bad("traceEvents[%d].ts: missing or negative", i)
+			}
+		}
+		if ph == "X" {
+			if d, ok := m["dur"].(float64); !ok || d < 0 {
+				bad("traceEvents[%d].dur: missing or negative", i)
+			}
+		}
+	}
+	return errs
+}
+
+// DefaultAccessLogSize bounds the folded access recorder's ring.
+const DefaultAccessLogSize = 1 << 14
+
+// AccessSample is one recorded application access — the lifecycle
+// layer's replacement for the legacy internal/trace CSV recorder.
+type AccessSample struct {
+	When    time.Time
+	File    string
+	Offset  int64
+	Length  int64
+	Tier    string // serving tier; empty = PFS (miss)
+	Latency time.Duration
+}
+
+// Hit reports whether the access was served from the hierarchy.
+func (s AccessSample) Hit() bool { return s.Tier != "" }
+
+// AccessLog is a sampling ring of access samples. Recording is mutex +
+// slot write; callers on hot paths gate on their own time sampling (the
+// server records only accesses it already timed).
+type AccessLog struct {
+	mu    sync.Mutex
+	every int
+	n     int
+	ring  []AccessSample
+	next  int
+	full  bool
+
+	total, hits int64
+	byTier      map[string]int64
+}
+
+// NewAccessLog keeps `size` samples, recording one access in `every`
+// (minimums 1).
+func NewAccessLog(size, every int) *AccessLog {
+	if size < 1 {
+		size = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &AccessLog{every: every, ring: make([]AccessSample, size), byTier: make(map[string]int64)}
+}
+
+// Record stores s (subject to sampling). Nil-safe.
+func (l *AccessLog) Record(s AccessSample) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.n++
+	if l.n%l.every == 0 {
+		l.ring[l.next] = s
+		l.next++
+		if l.next == len(l.ring) {
+			l.next = 0
+			l.full = true
+		}
+	}
+	l.total++
+	if s.Hit() {
+		l.hits++
+	}
+	l.byTier[s.Tier]++
+	l.mu.Unlock()
+}
+
+// Len returns the number of samples held.
+func (l *AccessLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.ring)
+	}
+	return l.next
+}
+
+// Samples returns the held samples, oldest first.
+func (l *AccessLog) Samples() []AccessSample {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	start := 0
+	if l.full {
+		n = len(l.ring)
+		start = l.next
+	}
+	out := make([]AccessSample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// AccessSummary aggregates an access log for human output.
+type AccessSummary struct {
+	Total   int64
+	Hits    int64
+	ByTier  map[string]int64
+	MeanLat time.Duration
+	P99Lat  time.Duration
+}
+
+// HitRatio returns hits/total (0 when empty).
+func (s AccessSummary) HitRatio() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Total)
+}
+
+func (s AccessSummary) String() string {
+	return fmt.Sprintf("accesses %d, hit ratio %.3f, mean %v, p99 %v",
+		s.Total, s.HitRatio(), s.MeanLat.Round(time.Microsecond), s.P99Lat.Round(time.Microsecond))
+}
+
+// Summary computes totals over everything recorded (not just the held
+// window) plus latency quantiles over the held samples.
+func (l *AccessLog) Summary() AccessSummary {
+	out := AccessSummary{ByTier: make(map[string]int64)}
+	if l == nil {
+		return out
+	}
+	samples := l.Samples()
+	l.mu.Lock()
+	out.Total = l.total
+	out.Hits = l.hits
+	for k, v := range l.byTier {
+		out.ByTier[k] = v
+	}
+	l.mu.Unlock()
+	if len(samples) == 0 {
+		return out
+	}
+	lats := make([]time.Duration, len(samples))
+	var sum time.Duration
+	for i, s := range samples {
+		lats[i] = s.Latency
+		sum += s.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	out.MeanLat = sum / time.Duration(len(lats))
+	out.P99Lat = lats[(len(lats)*99)/100]
+	return out
+}
+
+// WriteAccessCSV writes samples in the legacy internal/trace CSV layout:
+// when_unix_ns,file,offset,length,tier,hit,latency_us.
+func WriteAccessCSV(w io.Writer, samples []AccessSample) error {
+	if _, err := fmt.Fprintln(w, "when_unix_ns,file,offset,length,tier,hit,latency_us"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%s,%t,%.2f\n",
+			s.When.UnixNano(), s.File, s.Offset, s.Length, s.Tier, s.Hit(),
+			float64(s.Latency)/float64(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

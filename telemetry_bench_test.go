@@ -9,7 +9,7 @@ import (
 // benchCluster boots a single free-device node and returns an open file
 // spanning many segments, so ReadAt cost is dominated by the prefetcher
 // code path rather than modeled device time.
-func benchCluster(b *testing.B, enableTelemetry bool) *hfetch.File {
+func benchCluster(b *testing.B, enableTelemetry, enableLifecycle bool) *hfetch.File {
 	b.Helper()
 	cfg := hfetch.DefaultConfig()
 	cfg.SegmentSize = 4096
@@ -20,6 +20,7 @@ func benchCluster(b *testing.B, enableTelemetry bool) *hfetch.File {
 	}
 	cfg.PFS = hfetch.PFSSpec{}
 	cfg.EnableTelemetry = enableTelemetry
+	cfg.EnableLifecycle = enableLifecycle
 	cluster, err := hfetch.NewCluster(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -38,20 +39,24 @@ func benchCluster(b *testing.B, enableTelemetry bool) *hfetch.File {
 }
 
 // BenchmarkTelemetryOverhead compares the client read path with the
-// metric registry attached against the nil-registry build. The contract
-// the telemetry package makes — disabled instrumentation is a pointer
-// check, enabled instrumentation is a handful of atomics — means the
-// two sub-benchmarks should land within a few percent of each other.
+// metric registry attached against the nil-registry build, and with the
+// lifecycle tracer on top. The contract the telemetry package makes —
+// disabled instrumentation is a pointer check, enabled instrumentation
+// is a handful of atomics, lifecycle hooks gate on atomics before any
+// lock — means all three sub-benchmarks should land within a few
+// percent of each other.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	for _, bench := range []struct {
-		name    string
-		enabled bool
+		name      string
+		enabled   bool
+		lifecycle bool
 	}{
-		{"disabled", false},
-		{"enabled", true},
+		{"disabled", false, false},
+		{"enabled", true, false},
+		{"lifecycle", true, true},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
-			f := benchCluster(b, bench.enabled)
+			f := benchCluster(b, bench.enabled, bench.lifecycle)
 			buf := make([]byte, 4096)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
