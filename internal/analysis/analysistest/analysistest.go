@@ -1,0 +1,142 @@
+// Package analysistest runs framework analyzers over golden fixture
+// packages and checks reported findings against expectations written in
+// the fixture source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	q.mu.Lock() // want `held across ioclient call`
+//
+// A trailing "// want" comment carries one or more backquoted or quoted
+// regular expressions, each of which must match exactly one finding on
+// that line. Findings with no matching expectation, and expectations
+// with no matching finding, fail the test.
+//
+// Fixture packages live under testdata/src/<name> next to the analyzer
+// package. testdata is invisible to ./... wildcards, so deliberately
+// buggy fixtures never break `go build ./...` or the hfetchlint gate —
+// they are compiled only when a test loads them explicitly.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hfetch/internal/analysis/framework"
+)
+
+// wantRe extracts the expectation regexps from a "// want" comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the fixture package named by pattern (relative to the test's
+// working directory, e.g. "./testdata/src/lockfixture"), applies the
+// analyzers, and compares findings with // want expectations.
+func Run(t *testing.T, pattern string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	pkgs, err := framework.Load(".", pattern)
+	if err != nil {
+		t.Fatalf("load %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages matched", pattern)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture type error: %v", terr)
+		}
+	}
+
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			expects = append(expects, collectWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	diags, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "want")
+			pos := fset.Position(c.Pos())
+			matches := wantRe.FindAllStringSubmatch(rest, -1)
+			if len(matches) == 0 {
+				t.Errorf("%s: malformed want comment: %q", pos, c.Text)
+				continue
+			}
+			for _, m := range matches {
+				lit := m[1]
+				if lit == "" {
+					lit = m[2]
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+					continue
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// NoFindings asserts the analyzers are silent on the fixture package —
+// used for the clean-case fixtures.
+func NoFindings(t *testing.T, pattern string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	pkgs, err := framework.Load(".", pattern)
+	if err != nil {
+		t.Fatalf("load %s: %v", pattern, err)
+	}
+	diags, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		t.Errorf("%s: unexpected finding [%s]: %s", pos, d.Analyzer, d.Message)
+	}
+}

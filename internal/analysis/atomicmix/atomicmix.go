@@ -1,0 +1,149 @@
+// Package atomicmix flags variables and struct fields that are accessed
+// both through sync/atomic functions and through plain reads/writes in
+// the same package — the classic torn-gauge bug: a field updated with
+// atomic.AddInt64 but snapshotted with a bare read tears under the race
+// detector and on 32-bit targets, and a bare write can lose a
+// concurrent atomic increment entirely.
+//
+// The repo's own convention is stronger — use the typed atomics
+// (atomic.Int64 &c.), which make mixed access unrepresentable — so any
+// finding here is either legacy raw-atomic code to migrate or a real
+// bug. Plain accesses inside `New*` constructors and package init are
+// exempt: before the value escapes, no concurrency exists.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hfetch/internal/analysis/framework"
+)
+
+// Analyzer detects mixed atomic/plain access.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid plain access to variables also touched via sync/atomic",
+	Run:  run,
+}
+
+type site struct {
+	pos   ast.Node
+	inNew bool
+}
+
+func run(pass *framework.Pass) error {
+	// First pass: which objects are the target of a sync/atomic call,
+	// and where (so the atomic &x.f operands can be excluded below).
+	atomicObjs := make(map[types.Object]ast.Node) // obj -> first atomic call
+	atomicOperands := make(map[ast.Expr]bool)     // &x.f exprs inside atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Typed atomics (atomic.Int64 methods) are safe by
+				// construction; only package-level funcs take &addr.
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				obj := addrTarget(pass, un.X)
+				if obj == nil {
+					continue
+				}
+				atomicOperands[un.X] = true
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Second pass: every other access to those objects is plain.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			exempt := isFunc && constructorExempt(fd)
+			ast.Inspect(d, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if atomicOperands[e] {
+					return false // the sanctioned &x.f operand itself
+				}
+				obj := accessTarget(pass, e)
+				if obj == nil {
+					return true
+				}
+				first, isAtomic := atomicObjs[obj]
+				if !isAtomic || exempt {
+					return true
+				}
+				pass.Reportf(e.Pos(),
+					"%s is accessed via sync/atomic (e.g. at %s) but read/written plainly here; every access must be atomic",
+					obj.Name(), pass.Fset.Position(first.Pos()))
+				return false
+			})
+		}
+	}
+	return nil
+}
+
+// constructorExempt: plain initialization before the value escapes.
+func constructorExempt(fd *ast.FuncDecl) bool {
+	return strings.HasPrefix(fd.Name.Name, "New") || fd.Name.Name == "init"
+}
+
+// addrTarget resolves the variable or field an addressable expression
+// names: x, x.f, x[i].f chains ending in an identifier or selection.
+func addrTarget(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return v // pkg-qualified var
+		}
+	}
+	return nil
+}
+
+// accessTarget is addrTarget restricted to read/write positions: it
+// resolves idents and field selections but not the blank identifier or
+// definitions.
+func accessTarget(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"hfetch/internal/analysis/analysistest"
+)
+
+func TestAtomicmixFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/atomfixture", Analyzer)
+}
+
+func TestAtomicmixClean(t *testing.T) {
+	analysistest.NoFindings(t, "./testdata/src/atomclean", Analyzer)
+}

@@ -1,0 +1,19 @@
+// Package atomclean is the atomicmix negative fixture: typed atomics
+// everywhere, plus an all-plain counter that never touches sync/atomic.
+package atomclean
+
+import "sync/atomic"
+
+type Gauge struct {
+	val  atomic.Int64
+	name string
+}
+
+func (g *Gauge) Inc()         { g.val.Add(1) }
+func (g *Gauge) Get() int64   { return g.val.Load() }
+func (g *Gauge) Name() string { return g.name }
+
+type plainCounter struct{ n int }
+
+func (c *plainCounter) bump()    { c.n++ }
+func (c *plainCounter) get() int { return c.n }

@@ -1,0 +1,61 @@
+// Package atomfixture exercises the atomicmix analyzer: the hits field
+// is updated through sync/atomic, so every other access must be too.
+package atomfixture
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   int64
+	misses int64
+	// typed is immune by construction: the typed atomics have no
+	// plain-access spelling.
+	typed atomic.Int64
+}
+
+var global int64
+
+func (s *Stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) TornRead() int64 {
+	return s.hits // want `hits is accessed via sync/atomic`
+}
+
+func (s *Stats) TornWrite() {
+	s.hits = 0 // want `hits is accessed via sync/atomic`
+}
+
+func (s *Stats) AtomicRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// misses is only ever plain: no finding.
+func (s *Stats) Miss() {
+	s.misses++
+}
+
+func (s *Stats) Typed() int64 {
+	s.typed.Add(1)
+	return s.typed.Load()
+}
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobal() int64 {
+	return global // want `global is accessed via sync/atomic`
+}
+
+// NewStats may initialize plainly: the value has not escaped yet.
+func NewStats() *Stats {
+	s := &Stats{}
+	s.hits = 0
+	return s
+}
+
+func waivedRead(s *Stats) int64 {
+	//lint:allow atomicmix fixture demonstrates a waived snapshot read
+	return s.hits
+}

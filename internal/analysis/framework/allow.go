@@ -1,0 +1,102 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression annotation:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// A trailing comment suppresses findings on its own line; a comment on
+// a line of its own also suppresses the line below it; a directive in a
+// declaration's doc comment suppresses the whole declaration.
+const allowPrefix = "lint:allow"
+
+// allowRule is one suppression: findings of Analyzer on lines
+// [From, To] of File are dropped.
+type allowRule struct {
+	Analyzer string
+	File     string
+	From, To int
+}
+
+// collectAllows extracts every //lint:allow rule in the package and
+// reports malformed ones (missing analyzer or reason) as diagnostics so
+// that a bare suppression cannot silently disable a check.
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []allowRule {
+	var rules []allowRule
+
+	addComment := func(c *ast.Comment) (string, bool) {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if !strings.HasPrefix(text, allowPrefix) {
+			return "", false
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+		if len(fields) < 2 {
+			report(Diagnostic{
+				Pos:      c.Pos(),
+				Message:  "malformed lint:allow: want //lint:allow <analyzer> <reason>",
+				Analyzer: "allowsyntax",
+			})
+			return "", false
+		}
+		return fields[0], true
+	}
+
+	for _, f := range files {
+		// Doc-comment directives cover the whole declaration.
+		docs := make(map[*ast.CommentGroup]ast.Decl)
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					docs[d.Doc] = d
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					docs[d.Doc] = d
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			decl := docs[cg]
+			for _, c := range cg.List {
+				name, ok := addComment(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rule := allowRule{Analyzer: name, File: pos.Filename}
+				if decl != nil {
+					rule.From = fset.Position(decl.Pos()).Line
+					rule.To = fset.Position(decl.End()).Line
+				} else {
+					// Cover the comment's own line (trailing form) and
+					// the next line (standalone form).
+					rule.From = pos.Line
+					rule.To = pos.Line + 1
+				}
+				rules = append(rules, rule)
+			}
+		}
+	}
+	return rules
+}
+
+// suppressed reports whether d is covered by an allow rule.
+func suppressed(fset *token.FileSet, rules []allowRule, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, r := range rules {
+		if r.Analyzer != d.Analyzer {
+			continue
+		}
+		if r.File == pos.Filename && r.From <= pos.Line && pos.Line <= r.To {
+			return true
+		}
+	}
+	return false
+}

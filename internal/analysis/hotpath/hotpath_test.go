@@ -1,0 +1,15 @@
+package hotpath
+
+import (
+	"testing"
+
+	"hfetch/internal/analysis/analysistest"
+)
+
+func TestHotpathFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/hotfixture", Analyzer)
+}
+
+func TestHotpathClean(t *testing.T) {
+	analysistest.NoFindings(t, "./testdata/src/hotclean", Analyzer)
+}

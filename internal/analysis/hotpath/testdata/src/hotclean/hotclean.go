@@ -1,0 +1,31 @@
+// Package hotclean is the hotpath clean case: an annotated function
+// that follows every rule.
+package hotclean
+
+import (
+	"strconv"
+	"time"
+)
+
+type Reg struct{ n int }
+
+func (r *Reg) TimeSample() bool {
+	r.n++
+	return r.n%8 == 0
+}
+
+//hfetch:hotpath
+func drain(r *Reg, segs []int64, out []byte) []byte {
+	var start time.Time
+	timed := r.TimeSample()
+	if timed {
+		start = time.Now()
+	}
+	for _, s := range segs {
+		out = strconv.AppendInt(out, s, 10)
+	}
+	if timed {
+		_ = time.Since(start)
+	}
+	return out
+}

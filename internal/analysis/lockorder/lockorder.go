@@ -1,0 +1,500 @@
+// Package lockorder enforces ARCHITECTURE.md's lock-ordering chain.
+//
+// For every function it derives the set of manifest locks held at each
+// statement by a conservative syntactic walk (Lock/RLock acquire,
+// Unlock/RUnlock release, defer Unlock = held to function end,
+// branches merged by intersection, bodies of `go` statements and
+// function literals analyzed with an empty held set), then flags:
+//
+//   - acquiring a lock whose rank is ≤ the rank of any lock already
+//     held (out-of-order, or a second lock of the same class);
+//   - acquiring any lock while holding one from the released-between
+//     prefix of the chain (ring / epoch stripe / dhm shard);
+//   - holding a non-exempt lock across an I/O barrier — a call into
+//     ioclient, a movement-interface method, the mover completion
+//     callback, or any same-package function that transitively reaches
+//     one.
+//
+// The analysis is intra-procedural with one package-local call-graph
+// closure for barrier reachability; it does not track locks passed by
+// pointer into helpers, which matches how the repo actually structures
+// its critical sections.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hfetch/internal/analysis/framework"
+)
+
+// Analyzer checks the repo against the default manifest.
+var Analyzer = NewAnalyzer(Default())
+
+// NewAnalyzer builds a lockorder analyzer for a manifest; fixtures use
+// manifests over fixture-local types.
+func NewAnalyzer(m Manifest) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "lockorder",
+		Doc:  "enforce the ARCHITECTURE.md lock-ordering chain and the no-lock-across-I/O rule",
+		Run:  func(pass *framework.Pass) error { return run(pass, m) },
+	}
+}
+
+func run(pass *framework.Pass, m Manifest) error {
+	// Inside a barrier package every call would count as a barrier and
+	// its own store-handling would self-flag; the rule is about holding
+	// locks *outside* the I/O client.
+	for _, bp := range m.BarrierPkgs {
+		if pass.Pkg != nil && pass.Pkg.Path() == bp {
+			return nil
+		}
+	}
+	c := &checker{pass: pass, m: m,
+		rank:    make(map[FieldSel]int),
+		exempt:  make(map[string]bool),
+		barrier: make(map[string]bool),
+		bpkgs:   make(map[string]bool),
+	}
+	for i, cl := range m.Classes {
+		for _, f := range cl.Fields {
+			c.rank[f] = i
+		}
+	}
+	for _, n := range m.BarrierExempt {
+		c.exempt[n] = true
+	}
+	for _, f := range m.BarrierFuncs {
+		c.barrier[f] = true
+	}
+	for _, p := range m.BarrierPkgs {
+		c.bpkgs[p] = true
+	}
+	c.buildReach()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.walkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+type held struct {
+	rank int
+	pos  token.Pos
+}
+
+type checker struct {
+	pass    *framework.Pass
+	m       Manifest
+	rank    map[FieldSel]int
+	exempt  map[string]bool
+	barrier map[string]bool
+	bpkgs   map[string]bool
+	// reach marks package-local functions that transitively perform a
+	// barrier call.
+	reach map[*types.Func]bool
+}
+
+// buildReach computes which functions declared in this package reach an
+// I/O barrier, by fixpoint over the package-local static call graph.
+func (c *checker) buildReach() {
+	direct := make(map[*types.Func]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if c.isBarrierCall(call) {
+					direct[fn] = true
+					return true
+				}
+				if callee := framework.CalleeFunc(c.pass.TypesInfo, call); callee != nil &&
+					callee.Pkg() == c.pass.Pkg {
+					callees[fn] = append(callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	c.reach = direct
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if c.reach[fn] {
+				continue
+			}
+			for _, callee := range cs {
+				if c.reach[callee] {
+					c.reach[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// isBarrierCall reports whether call is a direct I/O barrier.
+func (c *checker) isBarrierCall(call *ast.CallExpr) bool {
+	// Field-typed callback: m.done(mv, err).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := c.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			key := framework.TypeKey(framework.Named(s.Recv())) + "." + s.Obj().Name()
+			if c.barrier[key] {
+				return true
+			}
+		}
+	}
+	fn := framework.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && c.bpkgs[fn.Pkg().Path()] {
+		return true
+	}
+	if recv := framework.ReceiverNamed(fn); recv != nil {
+		if c.barrier[framework.TypeKey(recv)+"."+fn.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// lockTarget resolves the manifest rank of the mutex a
+// Lock/RLock/Unlock/RUnlock call operates on; ok=false when the
+// receiver is not a manifest lock field.
+func (c *checker) lockTarget(call *ast.CallExpr) (rank int, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return 0, false, false
+	}
+	field, isField := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isField {
+		return 0, false, false
+	}
+	fs, fok := c.pass.TypesInfo.Selections[field]
+	if !fok || fs.Kind() != types.FieldVal {
+		return 0, false, false
+	}
+	key := FieldSel{
+		Type:  framework.TypeKey(framework.Named(fs.Recv())),
+		Field: fs.Obj().Name(),
+	}
+	r, known := c.rank[key]
+	return r, acquire, known
+}
+
+// walkFunc analyzes one function body (or function literal) starting
+// with an empty held set, and queues nested literals the same way.
+func (c *checker) walkFunc(body *ast.BlockStmt) {
+	h, _ := c.block(body, nil)
+	_ = h
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.walkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) block(b *ast.BlockStmt, h []held) ([]held, bool) {
+	return c.stmts(b.List, h)
+}
+
+func (c *checker) stmts(list []ast.Stmt, h []held) ([]held, bool) {
+	for _, s := range list {
+		var term bool
+		h, term = c.stmt(s, h)
+		if term {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+func (c *checker) stmt(s ast.Stmt, h []held) ([]held, bool) {
+	switch s := s.(type) {
+	case nil:
+		return h, false
+	case *ast.ExprStmt:
+		return c.expr(s.X, h), isPanic(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			h = c.expr(e, h)
+		}
+		for _, e := range s.Lhs {
+			h = c.expr(e, h)
+		}
+		return h, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				h = c.expr(e, h)
+				return false
+			}
+			return true
+		})
+		return h, false
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to function end —
+		// no state change; later barrier calls correctly see it held.
+		// Other deferred work runs at exit; skip its calls but still
+		// resolve locks *inside argument expressions* evaluated now.
+		for _, a := range s.Call.Args {
+			h = c.expr(a, h)
+		}
+		return h, false
+	case *ast.GoStmt:
+		// The spawned goroutine holds nothing; its literal body is
+		// analyzed separately by walkFunc. Arguments evaluate now.
+		for _, a := range s.Call.Args {
+			h = c.expr(a, h)
+		}
+		return h, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			h = c.expr(e, h)
+		}
+		return h, true
+	case *ast.BranchStmt:
+		return h, true
+	case *ast.BlockStmt:
+		return c.block(s, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h, _ = c.stmt(s.Init, h)
+		}
+		h = c.expr(s.Cond, h)
+		hThen, termThen := c.block(s.Body, clone(h))
+		hElse, termElse := clone(h), false
+		if s.Else != nil {
+			hElse, termElse = c.stmt(s.Else, clone(h))
+		}
+		switch {
+		case termThen && termElse:
+			return h, false
+		case termThen:
+			return hElse, false
+		case termElse:
+			return hThen, false
+		default:
+			return intersect(hThen, hElse), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h, _ = c.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			h = c.expr(s.Cond, h)
+		}
+		c.block(s.Body, clone(h))
+		return h, false
+	case *ast.RangeStmt:
+		h = c.expr(s.X, h)
+		c.block(s.Body, clone(h))
+		return h, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branches(s, h)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, h)
+	default:
+		return h, false
+	}
+}
+
+// branches merges switch/select case bodies by intersection, like if.
+func (c *checker) branches(s ast.Stmt, h []held) ([]held, bool) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			h, _ = c.stmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			h = c.expr(s.Tag, h)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var outs [][]held
+	hasDefault := false
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			list = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm, clone(h))
+			}
+			list = cl.Body
+		}
+		if out, term := c.stmts(list, clone(h)); !term {
+			outs = append(outs, out)
+		}
+	}
+	// A switch without default can fall through unchanged.
+	if !hasDefault {
+		outs = append(outs, h)
+	}
+	if len(outs) == 0 {
+		return h, false
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersect(merged, o)
+	}
+	return merged, false
+}
+
+// expr processes every call in e against the held set, outside nested
+// function literals, and returns the updated set.
+func (c *checker) expr(e ast.Expr, h []held) []held {
+	if e == nil {
+		return h
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		h = c.call(call, h)
+		return true
+	})
+	return h
+}
+
+// call applies one call's effect: acquire, release, or barrier check.
+func (c *checker) call(call *ast.CallExpr, h []held) []held {
+	if r, acquire, ok := c.lockTarget(call); ok {
+		if acquire {
+			c.checkAcquire(call.Pos(), r, h)
+			return append(h, held{rank: r, pos: call.Pos()})
+		}
+		for i := len(h) - 1; i >= 0; i-- {
+			if h[i].rank == r {
+				return append(h[:i:i], h[i+1:]...)
+			}
+		}
+		return h
+	}
+
+	direct := c.isBarrierCall(call)
+	indirect := false
+	var via *types.Func
+	if !direct {
+		if fn := framework.CalleeFunc(c.pass.TypesInfo, call); fn != nil && c.reach[fn] {
+			indirect, via = true, fn
+		}
+	}
+	if direct || indirect {
+		for _, hl := range h {
+			name := c.m.Classes[hl.rank].Name
+			if c.exempt[name] {
+				continue
+			}
+			if direct {
+				c.pass.Reportf(call.Pos(),
+					"%s lock held across I/O call (acquired at %s); tier store locks are innermost and callbacks run lock-free",
+					name, c.pass.Fset.Position(hl.pos))
+			} else {
+				c.pass.Reportf(call.Pos(),
+					"%s lock held across call to %s, which reaches I/O (lock acquired at %s)",
+					name, via.Name(), c.pass.Fset.Position(hl.pos))
+			}
+		}
+	}
+	return h
+}
+
+func (c *checker) checkAcquire(pos token.Pos, r int, h []held) {
+	for _, hl := range h {
+		switch {
+		case hl.rank == r:
+			c.pass.Reportf(pos,
+				"acquires a second %s lock while one is already held (at %s); never more than one of each kind",
+				c.m.Classes[r].Name, c.pass.Fset.Position(hl.pos))
+		case hl.rank > r:
+			c.pass.Reportf(pos,
+				"acquires %s lock while holding %s lock (at %s); chain order is %s",
+				c.m.Classes[r].Name, c.m.Classes[hl.rank].Name,
+				c.pass.Fset.Position(hl.pos), c.chain())
+		case c.m.Classes[hl.rank].ReleasedBefore:
+			c.pass.Reportf(pos,
+				"acquires %s lock while still holding %s lock (at %s); the %s lock must be released before taking any later lock",
+				c.m.Classes[r].Name, c.m.Classes[hl.rank].Name,
+				c.pass.Fset.Position(hl.pos), c.m.Classes[hl.rank].Name)
+		}
+	}
+}
+
+func (c *checker) chain() string {
+	names := make([]string, len(c.m.Classes))
+	for i, cl := range c.m.Classes {
+		names[i] = cl.Name
+	}
+	return strings.Join(names, " → ")
+}
+
+func clone(h []held) []held {
+	return append([]held(nil), h...)
+}
+
+// intersect keeps locks present (by rank) in both sets, preserving a's
+// acquisition positions.
+func intersect(a, b []held) []held {
+	var out []held
+	for _, ha := range a {
+		for _, hb := range b {
+			if ha.rank == hb.rank {
+				out = append(out, ha)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,134 @@
+package lockorder
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldSel names one mutex field: the owning named type (as
+// framework.TypeKey renders it, "pkgpath.Type") and the field name.
+type FieldSel struct {
+	Type  string
+	Field string
+}
+
+// Class is one rank in the lock-ordering chain. Several concrete fields
+// may share a class (none do today, but fixtures use it).
+type Class struct {
+	// Name matches the phrase used in ARCHITECTURE.md's chain.
+	Name   string
+	Fields []FieldSel
+	// ReleasedBefore marks the strictly released-between prefix of the
+	// chain: this lock must be released before acquiring ANY later
+	// lock, not merely acquired in order.
+	ReleasedBefore bool
+}
+
+// Manifest is the machine-readable form of ARCHITECTURE.md's
+// "Lock ordering" section. TestManifestMatchesArchitecture asserts that
+// Default() and the prose stay in sync.
+type Manifest struct {
+	// Classes in ascending rank (outermost first).
+	Classes []Class
+	// BarrierPkgs: any call into these packages is device I/O; no
+	// manifest lock (minus BarrierExempt) may be held across it.
+	BarrierPkgs []string
+	// BarrierFuncs: individual callbacks/interface methods that are
+	// I/O or must run lock-free, as "pkgpath.Type.Name".
+	BarrierFuncs []string
+	// BarrierExempt: class names legitimately held across barriers.
+	// The sync engine's decision pass holds runMu across execute() by
+	// design (it is the pass serialization lock, not a data lock).
+	BarrierExempt []string
+}
+
+// Default returns the manifest for this repo's chain:
+//
+//	ring → (released) → epoch → (released) → dhm → (released) →
+//	engine runMu → engine mu → mover mu → tier store mutex
+func Default() Manifest {
+	return Manifest{
+		Classes: []Class{
+			{Name: "ring", ReleasedBefore: true,
+				Fields: []FieldSel{{"hfetch/internal/events.Queue", "mu"}}},
+			{Name: "epoch", ReleasedBefore: true,
+				Fields: []FieldSel{{"hfetch/internal/core/auditor.epochStripe", "mu"}}},
+			{Name: "dhm", ReleasedBefore: true,
+				Fields: []FieldSel{{"hfetch/internal/dhm.shard", "mu"}}},
+			{Name: "engine-run",
+				Fields: []FieldSel{{"hfetch/internal/core/placement.Engine", "runMu"}}},
+			{Name: "engine-mu",
+				Fields: []FieldSel{{"hfetch/internal/core/placement.Engine", "mu"}}},
+			{Name: "mover",
+				Fields: []FieldSel{{"hfetch/internal/core/mover.Mover", "mu"}}},
+			{Name: "store",
+				Fields: []FieldSel{{"hfetch/internal/tiers.Store", "mu"}}},
+		},
+		BarrierPkgs: []string{"hfetch/internal/core/ioclient"},
+		BarrierFuncs: []string{
+			// The mover's completion callback must run lock-free.
+			"hfetch/internal/core/mover.Mover.done",
+			// Movement interfaces are implemented by ioclient.
+			"hfetch/internal/core/placement.Mover.Fetch",
+			"hfetch/internal/core/placement.Mover.Transfer",
+			"hfetch/internal/core/placement.Mover.Evict",
+			"hfetch/internal/core/mover.Executor.Fetch",
+			"hfetch/internal/core/mover.Executor.Transfer",
+			"hfetch/internal/core/mover.Executor.Evict",
+			"hfetch/internal/core/mover.BatchFetcher.FetchMany",
+		},
+		BarrierExempt: []string{"engine-run"},
+	}
+}
+
+// ChainEntry is one parsed element of the ARCHITECTURE.md chain line.
+type ChainEntry struct {
+	Class          string
+	ReleasedBefore bool
+}
+
+// chainPhrases maps the prose phrase in the chain to a class name.
+var chainPhrases = map[string]string{
+	"ring mutex":       "ring",
+	"epoch stripe":     "epoch",
+	"dhm shard":        "dhm",
+	"engine runMu":     "engine-run",
+	"engine mu":        "engine-mu",
+	"mover mu":         "mover",
+	"tier store mutex": "store",
+}
+
+// ParseArchitectureChain extracts the lock chain from ARCHITECTURE.md:
+// the first "→"-joined line inside the "## Lock ordering" section.
+// "(released)" separators set ReleasedBefore on the preceding entry.
+func ParseArchitectureChain(md []byte) ([]ChainEntry, error) {
+	lines := strings.Split(string(md), "\n")
+	inSection := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, "## Lock ordering")
+			continue
+		}
+		if !inSection || !strings.Contains(line, "→") {
+			continue
+		}
+		var out []ChainEntry
+		for _, part := range strings.Split(line, "→") {
+			part = strings.TrimSpace(part)
+			if part == "(released)" {
+				if len(out) == 0 {
+					return nil, fmt.Errorf("chain starts with (released)")
+				}
+				out[len(out)-1].ReleasedBefore = true
+				continue
+			}
+			name, ok := chainPhrases[part]
+			if !ok {
+				return nil, fmt.Errorf("unknown lock phrase %q in chain", part)
+			}
+			out = append(out, ChainEntry{Class: name})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("no lock chain found under '## Lock ordering'")
+}

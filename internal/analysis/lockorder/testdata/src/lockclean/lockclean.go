@@ -1,0 +1,24 @@
+// Package lockclean is the lockorder clean case: correctly ordered
+// acquisitions, released-between discipline, and I/O outside all locks.
+package lockclean
+
+import "sync"
+
+type Ring struct{ mu sync.Mutex }
+
+type Store struct{ mu sync.Mutex }
+
+type IO interface{ Write() error }
+
+func ordered(r *Ring, st *Store) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	st.mu.Lock()
+	st.mu.Unlock()
+}
+
+func ioOutsideLocks(st *Store, io IO) error {
+	st.mu.Lock()
+	st.mu.Unlock()
+	return io.Write()
+}

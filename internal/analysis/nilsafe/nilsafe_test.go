@@ -1,0 +1,32 @@
+package nilsafe
+
+import (
+	"testing"
+
+	"hfetch/internal/analysis/analysistest"
+)
+
+func fixtureConfig() Config {
+	return Config{
+		Pkg:     "hfetch/internal/analysis/nilsafe/testdata/src/nilfixture",
+		NilSafe: []string{"Reg", "Tracer"},
+		Gated:   []string{"Tracer"},
+	}
+}
+
+func TestRuleAFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/nilfixture", NewAnalyzer(fixtureConfig()))
+}
+
+func TestRuleBFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/nilcaller", NewAnalyzer(fixtureConfig()))
+}
+
+// TestRealTelemetryClean runs the default config against the real
+// telemetry package: the contract the rest of the repo relies on.
+func TestRealTelemetryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the real telemetry package")
+	}
+	analysistest.NoFindings(t, "hfetch/internal/telemetry", Analyzer)
+}

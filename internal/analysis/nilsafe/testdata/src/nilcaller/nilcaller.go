@@ -1,0 +1,46 @@
+// Package nilcaller exercises nilsafe Rule B: method calls on the gated
+// Tracer type must sit behind a nil gate at the call site.
+package nilcaller
+
+import "hfetch/internal/analysis/nilsafe/testdata/src/nilfixture"
+
+func ungated(r *nilfixture.Reg) {
+	tr := r.Tracer()
+	tr.On() // want `call to Tracer.On outside a nil gate`
+}
+
+func unbound(r *nilfixture.Reg) {
+	r.Tracer().On() // want `call to Tracer.On on an unbound expression`
+}
+
+func gatedIf(r *nilfixture.Reg) {
+	if tr := r.Tracer(); tr != nil {
+		tr.On()
+	}
+}
+
+func gatedEarly(r *nilfixture.Reg) {
+	tr := r.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.On()
+}
+
+func gatedParam(tr *nilfixture.Tracer) {
+	if tr == nil {
+		return
+	}
+	tr.On()
+}
+
+func waived(r *nilfixture.Reg) {
+	tr := r.Tracer()
+	//lint:allow nilsafe fixture demonstrates a waived ungated call
+	tr.On()
+}
+
+// Reg is nil-safe but not gated: direct calls are fine.
+func regDirect(r *nilfixture.Reg) {
+	r.Good()
+}

@@ -1,0 +1,65 @@
+// Package nilfixture stands in for the telemetry package in the
+// nilsafe fixtures: Reg and Tracer are configured as nil-safe types, so
+// every exported pointer method must establish its nil guard (Rule A).
+package nilfixture
+
+type Reg struct{ n int64 }
+
+type Tracer struct{ n int64 }
+
+// Good guards first.
+func (r *Reg) Good() {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// GoodLate declares its zero return value before the guard.
+func (r *Reg) GoodLate() int64 {
+	var out int64
+	if r == nil {
+		return out
+	}
+	return r.n
+}
+
+// Enabled uses the return-form guard.
+func (r *Reg) Enabled() bool { return r != nil }
+
+// Delegating leans on Good's guard.
+func (r *Reg) Delegating() {
+	r.Good()
+}
+
+// Bad dereferences an unguarded receiver.
+func (r *Reg) Bad() { // want `exported method Reg.Bad must nil-check the receiver`
+	r.n++
+}
+
+// Tracer returns the gated tracer (nil when disabled).
+func (r *Reg) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return &Tracer{}
+}
+
+func (t *Tracer) On() {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+// Waived is Bad with a deliberate waiver.
+//
+//lint:allow nilsafe fixture demonstrates a waived missing guard
+func (t *Tracer) Waived() {
+	t.n++
+}
+
+// unexported methods are out of scope.
+func (t *Tracer) bump() {
+	t.n++
+}

@@ -1,0 +1,263 @@
+// Package pairing enforces resource pairing:
+//
+//   - Lock/Unlock: within a function, every mutex path that is locked
+//     (q.mu.Lock(), st.mu.RLock(), ...) must also be unlocked somewhere
+//     in the same function — a plain or deferred Unlock (RUnlock for
+//     RLock) on the same textual path. Handoff designs that return
+//     holding a lock are deliberate and carry //lint:allow pairing.
+//
+//   - Start/Stop: a type whose constructor (New*) or Start method
+//     spawns goroutines (directly or by starting owned components)
+//     must declare a Stop, Close, Drain or Shutdown method, so every
+//     spawn has a reachable quiesce path.
+//
+// Both rules are intra-package and syntactic: they catch the "early
+// return leaks the lock" and "background loop with no off switch"
+// classes without whole-program analysis.
+package pairing
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hfetch/internal/analysis/framework"
+)
+
+// Analyzer enforces lock and lifecycle pairing.
+var Analyzer = &framework.Analyzer{
+	Name: "pairing",
+	Doc:  "every Lock needs an Unlock in-function; every goroutine-spawning constructor needs a Stop/Drain",
+	Run:  run,
+}
+
+var stopNames = []string{"Stop", "Close", "Drain", "Shutdown"}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockPairing(pass, fd)
+		}
+	}
+	checkLifecycle(pass)
+	return nil
+}
+
+// --- Lock/Unlock pairing ---------------------------------------------
+
+type lockEvent struct {
+	acquires []token.Pos
+	releases int
+}
+
+func checkLockPairing(pass *framework.Pass, fd *ast.FuncDecl) {
+	// One ledger per function; nested literals get their own, since a
+	// literal may be the unlock half only when deferred from the same
+	// function body (defer func() { mu.Unlock() }()), which Inspect
+	// below keeps in the parent's ledger.
+	events := make(map[string]*lockEvent)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var acquire bool
+		var kind string
+		switch sel.Sel.Name {
+		case "Lock":
+			acquire, kind = true, "w"
+		case "RLock":
+			acquire, kind = true, "r"
+		case "Unlock":
+			kind = "w"
+		case "RUnlock":
+			kind = "r"
+		default:
+			return true
+		}
+		if !isMutex(pass, sel.X) {
+			return true
+		}
+		key := kind + "|" + exprPath(pass.Fset, sel.X)
+		ev := events[key]
+		if ev == nil {
+			ev = &lockEvent{}
+			events[key] = ev
+		}
+		if acquire {
+			ev.acquires = append(ev.acquires, call.Pos())
+		} else {
+			ev.releases++
+		}
+		return true
+	})
+	for key, ev := range events {
+		if len(ev.acquires) == 0 || ev.releases > 0 {
+			continue
+		}
+		verb := "Unlock"
+		if strings.HasPrefix(key, "r|") {
+			verb = "RUnlock"
+		}
+		for _, pos := range ev.acquires {
+			pass.Reportf(pos,
+				"%s locked with no %s anywhere in %s; add a deferred or explicit release (or //lint:allow pairing for a deliberate handoff)",
+				key[2:], verb, fd.Name.Name)
+		}
+	}
+}
+
+// isMutex reports whether e's type is sync.Mutex/RWMutex (or a pointer
+// to one).
+func isMutex(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	n := framework.Named(tv.Type)
+	if n == nil {
+		return false
+	}
+	key := framework.TypeKey(n)
+	return key == "sync.Mutex" || key == "sync.RWMutex"
+}
+
+// exprPath renders the receiver expression textually, normalizing index
+// expressions so m.shards[i] and m.shards[j] pair up.
+func exprPath(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	s := buf.String()
+	// Collapse index expressions: a[i].mu == a[j].mu for pairing.
+	var out strings.Builder
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			if depth == 0 {
+				out.WriteByte('[')
+			}
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				out.WriteByte(']')
+			}
+		default:
+			if depth == 0 {
+				out.WriteByte(s[i])
+			}
+		}
+	}
+	return out.String()
+}
+
+// --- Start/Stop pairing ----------------------------------------------
+
+func checkLifecycle(pass *framework.Pass) {
+	if pass.Pkg == nil {
+		return
+	}
+	// Named types declared in this package with their method sets.
+	type typeInfo struct {
+		hasStop  bool
+		spawnPos token.Pos // where a goroutine is spawned on its behalf
+		spawnIn  string
+	}
+	infos := make(map[*types.Named]*typeInfo)
+	lookup := func(n *types.Named) *typeInfo {
+		if n == nil || n.Obj().Pkg() != pass.Pkg {
+			return nil
+		}
+		ti := infos[n]
+		if ti == nil {
+			ti = &typeInfo{}
+			infos[n] = ti
+			for _, name := range stopNames {
+				for i := 0; i < n.NumMethods(); i++ {
+					if n.Method(i).Name() == name {
+						ti.hasStop = true
+					}
+				}
+			}
+		}
+		return ti
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var owner *types.Named
+			if fd.Recv != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					owner = framework.ReceiverNamed(fn)
+				}
+				if fd.Name.Name != "Start" && !strings.HasPrefix(fd.Name.Name, "start") {
+					owner = nil
+				}
+			} else if strings.HasPrefix(fd.Name.Name, "New") {
+				owner = constructedType(pass, fd)
+			}
+			ti := lookup(owner)
+			if ti == nil {
+				continue
+			}
+			if pos, ok := spawns(fd.Body); ok && ti.spawnPos == token.NoPos {
+				ti.spawnPos = pos
+				ti.spawnIn = fd.Name.Name
+			}
+		}
+	}
+	for n, ti := range infos {
+		if ti.spawnPos != token.NoPos && !ti.hasStop {
+			pass.Reportf(ti.spawnPos,
+				"%s spawns a goroutine in %s but declares no Stop/Close/Drain/Shutdown method",
+				n.Obj().Name(), ti.spawnIn)
+		}
+	}
+}
+
+// constructedType resolves the named type a New* constructor returns.
+func constructedType(pass *framework.Pass, fd *ast.FuncDecl) *types.Named {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return nil
+	}
+	return framework.Named(res.At(0).Type())
+}
+
+// spawns reports the first goroutine spawn in body (a go statement
+// outside nested function literals, or a call to an owned component's
+// Start method is left to that component's own analysis).
+func spawns(body *ast.BlockStmt) (token.Pos, bool) {
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			pos = g.Pos()
+			return false
+		}
+		return true
+	})
+	return pos, pos != token.NoPos
+}

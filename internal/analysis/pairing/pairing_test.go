@@ -1,0 +1,15 @@
+package pairing
+
+import (
+	"testing"
+
+	"hfetch/internal/analysis/analysistest"
+)
+
+func TestPairingFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/pairfixture", Analyzer)
+}
+
+func TestPairingClean(t *testing.T) {
+	analysistest.NoFindings(t, "./testdata/src/pairclean", Analyzer)
+}

@@ -1,0 +1,38 @@
+// Package pairclean is the pairing negative fixture: disciplined
+// lock/unlock pairs and a fully paired lifecycle.
+package pairclean
+
+import "sync"
+
+type Cache struct {
+	mu   sync.Mutex
+	data map[string]int
+	quit chan struct{}
+}
+
+func NewCache() *Cache {
+	return &Cache{data: map[string]int{}, quit: make(chan struct{})}
+}
+
+func (c *Cache) Start() {
+	go c.loop()
+}
+
+func (c *Cache) loop() {
+	<-c.quit
+}
+
+func (c *Cache) Stop() { close(c.quit) }
+
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.data[k]
+	return v, ok
+}
+
+func (c *Cache) Put(k string, v int) {
+	c.mu.Lock()
+	c.data[k] = v
+	c.mu.Unlock()
+}

@@ -1,0 +1,89 @@
+// Package pairfixture exercises the pairing analyzer: lock/unlock
+// pairing within a function and Start/Stop pairing on goroutine owners.
+package pairfixture
+
+import "sync"
+
+type Q struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (q *Q) leak() {
+	q.mu.Lock() // want `q\.mu locked with no Unlock anywhere in leak`
+	q.n++
+}
+
+func (q *Q) badRead() int {
+	q.mu.RLock() // want `q\.mu locked with no RUnlock anywhere in badRead`
+	defer q.mu.Unlock()
+	return q.n
+}
+
+func (q *Q) good() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+}
+
+func (q *Q) goodRead() int {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.n
+}
+
+func (q *Q) earlyReturn(b bool) {
+	q.mu.Lock()
+	if b {
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+}
+
+// handoff returns holding the lock by design.
+func (q *Q) handoff() func() {
+	//lint:allow pairing lock ownership transfers to the returned closure
+	q.mu.Lock()
+	return q.mu.Unlock
+}
+
+type shardSet struct {
+	shards []Q
+}
+
+// indexed paths normalize, so lock on [i] pairs with unlock on [j].
+func (s *shardSet) sweep(i, j int) {
+	s.shards[i].mu.Lock()
+	s.shards[j].mu.Unlock()
+}
+
+// Leaky spawns a background loop but has no quiesce method.
+type Leaky struct{ ch chan int }
+
+func NewLeaky() *Leaky {
+	l := &Leaky{ch: make(chan int)}
+	go func() { // want `Leaky spawns a goroutine in NewLeaky but declares no Stop/Close/Drain/Shutdown method`
+		for range l.ch {
+		}
+	}()
+	return l
+}
+
+// Worker pairs its Start spawn with a Stop method.
+type Worker struct {
+	quit chan struct{}
+}
+
+func (w *Worker) Start() {
+	go func() {
+		<-w.quit
+	}()
+}
+
+func (w *Worker) Stop() { close(w.quit) }
+
+// Plain never spawns: no lifecycle obligation.
+type Plain struct{ n int }
+
+func NewPlain() *Plain { return &Plain{} }

@@ -395,9 +395,12 @@ func runReads(o Options) (ReadResult, error) {
 // exportTrace writes the node's lifecycle traces (completed and
 // in-flight) as Chrome trace_event JSON.
 func exportTrace(node *hfetch.Node, path string) error {
-	lc := node.Telemetry().Lifecycle()
+	var recs []telemetry.TraceRecord
+	if lc := node.Telemetry().Lifecycle(); lc != nil {
+		recs = lc.Export()
+	}
 	var buf bytes.Buffer
-	if err := telemetry.WriteTraceJSON(&buf, node.Server().Node(), lc.Export()); err != nil {
+	if err := telemetry.WriteTraceJSON(&buf, node.Server().Node(), recs); err != nil {
 		return err
 	}
 	return os.WriteFile(path, buf.Bytes(), 0o644)

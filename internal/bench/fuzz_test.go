@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzValidate throws arbitrary documents at the hand-rolled report
+// validator: it must never panic, never emit a nil error, and must
+// reject anything that is not valid JSON.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema_version": 99}`))
+	f.Add([]byte(`{"schema_version":2,"rev":"r","timestamp":"t","go_version":"g","gomaxprocs":1,"num_cpu":1,"drain":[{"pipeline":"sharded","mode":"weak","clients":1,"events":1,"seconds":1,"events_per_sec":1,"stages":{}}],"comparisons":[]}`))
+	f.Add([]byte(`{"schema_version":2,"drain":[[]],"comparisons":[0],"reads":{"hit_ratio":-1},"movement":{"sync":null}}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		errs := Validate(raw)
+		for i, e := range errs {
+			if e == nil {
+				t.Fatalf("Validate returned nil error at index %d", i)
+			}
+		}
+		if !json.Valid(raw) && len(errs) == 0 {
+			t.Fatalf("invalid JSON accepted: %q", raw)
+		}
+	})
+}

@@ -481,6 +481,8 @@ func (a *Auditor) HandleBatch(evs []events.Event) {
 
 // handleEvent audits one event, sending every score change to out (the
 // sink directly, or a batch accumulator).
+//
+//hfetch:hotpath
 func (a *Auditor) handleEvent(ev events.Event, out func(Update)) {
 	a.ctr.events.Add(1)
 	var start time.Time
@@ -508,6 +510,7 @@ func (a *Auditor) handleEvent(ev events.Event, out func(Update)) {
 	}
 }
 
+//hfetch:hotpath
 func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 	ids := a.cfg.Segmenter.Cover(ev.File, ev.Offset, ev.Length)
 	if len(ids) == 0 {
@@ -527,6 +530,7 @@ func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 
 	ts := ev.Time
 	if ts.IsZero() {
+		//lint:allow hotpath fallback for events posted without a capture-time stamp; fires once per read event, not per segment
 		ts = time.Now()
 	}
 	var tsb [8]byte
@@ -573,6 +577,8 @@ func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 
 // learnLink records that segment prev is followed by cur, increasing
 // cur's reference count when the link is new.
+//
+//hfetch:hotpath
 func (a *Auditor) learnLink(file string, prev, cur int64) {
 	if prev < 0 || prev == cur {
 		return
@@ -592,6 +598,8 @@ func (a *Auditor) learnLink(file string, prev, cur int64) {
 }
 
 // boost applies the anticipatory sequencing weight to id.
+//
+//hfetch:hotpath
 func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64, out func(Update)) {
 	arg := make([]byte, 16)
 	binary.BigEndian.PutUint64(arg[0:8], uint64(ts.UnixNano()))

@@ -152,6 +152,8 @@ func (m *Monitor) Sharded() *events.ShardedQueue { return m.sharded }
 // lifecycle trace ID at this boundary — the monitor is the ingestion
 // point the paper's inotify shim corresponds to — so the trace covers
 // everything downstream.
+//
+//hfetch:hotpath
 func (m *Monitor) Post(ev events.Event) bool {
 	if ev.Op == events.OpRead && ev.Trace == 0 {
 		if lc := m.cfg.Telemetry.Lifecycle(); lc != nil {
@@ -220,6 +222,8 @@ func (m *Monitor) Consumed() int64 { return m.consumed.Load() }
 
 // daemon drains q until it is closed and empty. Each shard of the
 // sharded pipeline gets its own daemons; the legacy pipeline shares one.
+//
+//hfetch:hotpath
 func (m *Monitor) daemon(q *events.Queue) {
 	defer m.wg.Done()
 	buf := make([]events.Event, m.cfg.Batch)

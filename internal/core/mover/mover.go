@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"hfetch/internal/core/seg"
+	"hfetch/internal/invariant"
 	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
@@ -279,8 +280,34 @@ func (m *Mover) Submit(moves []Move) {
 		m.outstanding++
 		m.ctr.submitted.Add(1)
 		m.queues[q] = append(m.queues[q], o)
+		if invariant.Enabled {
+			// The backpressure bound holds on the Submit path (the wait
+			// loop above guarantees it); destination-full retries and
+			// chained-move promotions may requeue past it by design.
+			invariant.Assert(len(m.queues[q]) <= m.cfg.QueueDepth,
+				"mover tier %d queue depth %d exceeds bound %d after Submit",
+				q, len(m.queues[q]), m.cfg.QueueDepth)
+		}
 		m.cond.Broadcast()
 	}
+	m.checkLocked()
+}
+
+// checkLocked asserts the queue-accounting invariants under m.mu; a
+// no-op unless built with -tags hfetch_invariants.
+func (m *Mover) checkLocked() {
+	if !invariant.Enabled {
+		return
+	}
+	invariant.Assert(m.outstanding >= 0, "mover outstanding %d < 0", m.outstanding)
+	queued := 0
+	for _, q := range m.queues {
+		queued += len(q)
+	}
+	invariant.Assert(queued <= m.outstanding,
+		"mover queued %d exceeds outstanding %d", queued, m.outstanding)
+	invariant.Assert(len(m.inflight) <= m.outstanding,
+		"mover inflight table %d exceeds outstanding %d", len(m.inflight), m.outstanding)
 }
 
 // supersedeLocked folds a newer move for a segment into its in-flight
@@ -353,6 +380,7 @@ func (m *Mover) spliceLocked(o *op) {
 func (m *Mover) finishLocked(o *op) {
 	close(o.done)
 	m.outstanding--
+	m.checkLocked()
 	if m.outstanding == 0 {
 		m.idle.Broadcast()
 	}

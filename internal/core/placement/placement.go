@@ -31,6 +31,7 @@ import (
 	"hfetch/internal/core/auditor"
 	amover "hfetch/internal/core/mover"
 	"hfetch/internal/core/seg"
+	"hfetch/internal/invariant"
 	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
 )
@@ -258,6 +259,8 @@ func (e *Engine) Stop() {
 
 // ScoreUpdated implements auditor.Sink. It is the hot path: a map insert
 // and, past the threshold, a non-blocking kick.
+//
+//hfetch:hotpath
 func (e *Engine) ScoreUpdated(u auditor.Update) {
 	e.ctr.updates.Add(1)
 	e.mu.Lock()
@@ -278,6 +281,8 @@ func (e *Engine) ScoreUpdated(u auditor.Update) {
 // workers do not re-serialize on the engine. Later updates of the same
 // segment within the batch win, exactly as they would arriving one by
 // one.
+//
+//hfetch:hotpath
 func (e *Engine) ScoreBatch(ups []auditor.Update) {
 	if len(ups) == 0 {
 		return
@@ -383,6 +388,7 @@ func (e *Engine) run() {
 		}
 		e.plan(u, &plan)
 	}
+	e.checkModelLocked()
 	e.mu.Unlock()
 	if e.cfg.Telemetry != nil {
 		// Decision latency: planning only, data movement is the fetch stage.
@@ -574,9 +580,36 @@ func (e *Engine) dropFile(file string) {
 			}
 		}
 	}
+	if invariant.Enabled {
+		for ti := range e.resident {
+			for id := range e.resident[ti] {
+				invariant.Assert(id.File != file,
+					"dropFile %q left segment %v resident in tier %d", file, id, ti)
+			}
+		}
+		e.checkModelLocked()
+	}
 	e.mu.Unlock()
 	for _, id := range dropped {
 		e.aud.DeleteMapping(id)
+	}
+}
+
+// checkModelLocked asserts the residency model's accounting under e.mu:
+// per-tier used bytes are non-negative and equal the sum of resident
+// segment sizes. A no-op unless built with -tags hfetch_invariants.
+func (e *Engine) checkModelLocked() {
+	if !invariant.Enabled {
+		return
+	}
+	for ti := range e.resident {
+		invariant.Assert(e.used[ti] >= 0, "tier %d modeled usage %d < 0", ti, e.used[ti])
+		var sum int64
+		for _, ent := range e.resident[ti] {
+			sum += ent.size
+		}
+		invariant.Assert(sum == e.used[ti],
+			"tier %d modeled usage %d != sum of resident sizes %d", ti, e.used[ti], sum)
 	}
 }
 
@@ -833,6 +866,13 @@ func (e *Engine) reconcile(mv move) {
 			e.resident[actual][mv.id] = entry{score: 0, size: size}
 			e.used[actual] += size
 		}
+	}
+	if invariant.Enabled {
+		// Reconciliation's whole contract: model and store agree on the
+		// reconciled segment before the lock drops.
+		invariant.Assert(e.locate(mv.id) == actual,
+			"reconcile left model tier %d != store tier %d for %v",
+			e.locate(mv.id), actual, mv.id)
 	}
 	e.mu.Unlock()
 	if actual >= 0 {

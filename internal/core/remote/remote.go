@@ -324,7 +324,11 @@ func RenderTrace(srv *server.Server, csv bool) ([]byte, error) {
 		}
 		return buf.Bytes(), nil
 	}
-	if err := telemetry.WriteTraceJSON(&buf, srv.Node(), lc.Export()); err != nil {
+	var recs []telemetry.TraceRecord
+	if lc != nil {
+		recs = lc.Export()
+	}
+	if err := telemetry.WriteTraceJSON(&buf, srv.Node(), recs); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

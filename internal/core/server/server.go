@@ -352,6 +352,8 @@ func (s *Server) ReadFromTier(tier string, id seg.ID, off int64, p []byte) (int,
 // When the async mover has a fetch of the segment in flight, a missing
 // read stalls up to Config.FetchWait for it to land instead of falling
 // back to the PFS — one bounded wait instead of a duplicate origin read.
+//
+//hfetch:hotpath
 func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier string, ok bool) {
 	var start time.Time
 	timed := s.tele.TimeSample()
@@ -402,6 +404,8 @@ func (s *Server) ReadPrefetched(id seg.ID, off int64, p []byte) (n int, tier str
 // sampleAccess feeds the folded access recorder, reusing the read path's
 // existing time sample so no extra clock reads happen off-sample. Tier is
 // empty for misses.
+//
+//hfetch:hotpath
 func (s *Server) sampleAccess(lc *telemetry.Lifecycle, id seg.ID, off int64, length int, tier string, start time.Time) {
 	if lc == nil {
 		return
@@ -411,17 +415,20 @@ func (s *Server) sampleAccess(lc *telemetry.Lifecycle, id seg.ID, off int64, len
 		return
 	}
 	al.Record(telemetry.AccessSample{
-		When:    start,
-		File:    id.File,
-		Offset:  id.Index*s.segr.Size() + off,
-		Length:  int64(length),
-		Tier:    tier,
+		When:   start,
+		File:   id.File,
+		Offset: id.Index*s.segr.Size() + off,
+		Length: int64(length),
+		Tier:   tier,
+		//lint:allow hotpath reached only under the caller's TimeSample gate; completes the sampled read latency
 		Latency: time.Since(start),
 	})
 }
 
 // serve resolves the segment mapping and reads from the resolved tier,
 // local or remote. ok is false on an absent or stale mapping.
+//
+//hfetch:hotpath
 func (s *Server) serve(id seg.ID, off int64, p []byte) (n int, tier string, ok bool) {
 	node, tier, ok := s.aud.Mapping(id)
 	if !ok {
@@ -444,6 +451,7 @@ func (s *Server) StallStats() (stalls, rescues int64) {
 	return s.stalls.Load(), s.stallRescues.Load()
 }
 
+//hfetch:hotpath
 func (s *Server) miss(nbytes int64) {
 	s.iostats.Miss(nbytes)
 	s.missCtr.Inc()

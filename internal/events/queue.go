@@ -104,6 +104,8 @@ func (q *Queue) Post(ev Event) bool {
 // postRef is Post without the value copy at the call boundary; the
 // sharded router uses it so an event is copied once into the ring, not
 // once per call layer. ev is only read, never retained.
+//
+//hfetch:hotpath
 func (q *Queue) postRef(ev *Event) bool {
 	q.mu.Lock()
 	for q.n == len(q.buf) && !q.closed && !q.drop {
@@ -148,16 +150,21 @@ func (q *Queue) takeStamp(slot int) int64 {
 }
 
 // spanWait records the queue_wait span outside the queue lock.
+//
+//hfetch:hotpath
 func (q *Queue) spanWait(ev Event, enq int64) {
 	if enq == 0 {
 		return
 	}
 	start := time.Unix(0, enq)
+	//lint:allow hotpath enq is nonzero only for posts that passed TimeSample; Since completes that sampled span
 	q.tele.Span(telemetry.StageQueueWait, ev.File, -1, ev.Tier, start, time.Since(start))
 }
 
 // Take dequeues one event, blocking until one is available or the queue
 // is closed and drained. ok is false only on close-and-drained.
+//
+//hfetch:hotpath
 func (q *Queue) Take() (ev Event, ok bool) {
 	q.mu.Lock()
 	for q.n == 0 && !q.closed {
@@ -179,6 +186,8 @@ func (q *Queue) Take() (ev Event, ok bool) {
 
 // TakeBatch dequeues up to max events in one lock acquisition, blocking
 // until at least one is available or the queue is closed and drained.
+//
+//hfetch:hotpath
 func (q *Queue) TakeBatch(dst []Event) (n int, ok bool) {
 	if len(dst) == 0 {
 		return 0, true

@@ -1,0 +1,10 @@
+//go:build !hfetch_invariants
+
+package invariant
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = false
+
+// Assert is a no-op in the default build; the Enabled guard at call
+// sites removes the call and its argument evaluation entirely.
+func Assert(cond bool, format string, args ...any) {}

@@ -1,0 +1,28 @@
+//go:build hfetch_invariants
+
+// Package invariant provides build-tag-gated runtime assertions for the
+// concurrency seams the static analyzers cannot see across: the mover's
+// queue accounting and the placement engine's residency model. Build
+// with -tags hfetch_invariants (the CI race job does) to turn every
+// Assert into a panic on violation; the default build compiles the
+// checks out entirely.
+//
+// Call sites guard with the Enabled constant so the checked expressions
+// themselves are dead-code-eliminated in the default build:
+//
+//	if invariant.Enabled {
+//		invariant.Assert(m.outstanding >= 0, "outstanding %d < 0", m.outstanding)
+//	}
+package invariant
+
+import "fmt"
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = true
+
+// Assert panics with a formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

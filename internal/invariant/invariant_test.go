@@ -1,0 +1,22 @@
+package invariant
+
+import "testing"
+
+func TestAssert(t *testing.T) {
+	if !Enabled {
+		// Default build: Assert must be inert even on a false condition.
+		Assert(false, "must not panic when disabled")
+		return
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic with invariants enabled")
+		}
+		if msg, ok := r.(string); !ok || msg != "invariant violated: n=7" {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	Assert(true, "true conditions never panic")
+	Assert(false, "n=%d", 7)
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzValidateTraceJSON throws arbitrary documents at the Perfetto
+// trace validator: no panics, no nil errors, invalid JSON always
+// rejected. One seed is a real WriteTraceJSON document so the corpus
+// starts from the accepted shape.
+func FuzzValidateTraceJSON(f *testing.F) {
+	var buf bytes.Buffer
+	base := time.Unix(1_700_000_000, 0)
+	recs := []TraceRecord{{
+		ID: 1, File: "f.h5", Seg: 3, Done: true, Class: ClassTimely,
+		Events: []TraceEvent{
+			{Stage: StageFetch, Tier: "ram", Start: base, Nanos: 1500},
+			{Stage: "landed", Tier: "ram", Start: base.Add(time.Millisecond)},
+		},
+	}}
+	if err := WriteTraceJSON(&buf, "node0", recs); err != nil {
+		f.Fatal(err)
+	}
+	if errs := ValidateTraceJSON(buf.Bytes()); len(errs) != 0 {
+		f.Fatalf("self-emitted trace fails validation: %v", errs)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"traceEvents":[{"ph":"X"}]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"n","ph":"i","pid":1,"tid":1,"ts":-5}]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		errs := ValidateTraceJSON(raw)
+		for i, e := range errs {
+			if e == nil {
+				t.Fatalf("ValidateTraceJSON returned nil error at index %d", i)
+			}
+		}
+		if !json.Valid(raw) && len(errs) == 0 {
+			t.Fatalf("invalid JSON accepted: %q", raw)
+		}
+	})
+}

@@ -54,6 +54,8 @@ func bucketLower(b int) int64 {
 }
 
 // Observe records one value. Negative values are clamped to zero.
+//
+//hfetch:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

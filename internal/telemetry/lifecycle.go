@@ -383,6 +383,8 @@ func (lc *Lifecycle) classify(k segKey, t *live, class Class, terminal TraceEven
 // tracing is off). When the (file, segment) already has an in-flight
 // trace the existing ID is returned, so repeated events on a hot segment
 // share one generation.
+//
+//hfetch:hotpath
 func (lc *Lifecycle) OnEvent(file string, off int64, at time.Time) uint64 {
 	if lc == nil {
 		return 0
@@ -406,6 +408,7 @@ func (lc *Lifecycle) OnEvent(file string, off int64, at time.Time) uint64 {
 		return 0
 	}
 	if at.IsZero() {
+		//lint:allow hotpath fallback for unstamped events, reached only for traces that passed sampling
 		at = time.Now()
 	}
 	t := &live{id: lc.nextID.Add(1), born: at}
@@ -418,6 +421,8 @@ func (lc *Lifecycle) OnEvent(file string, off int64, at time.Time) uint64 {
 // trace, if one exists. Registry.Span forwards here, so every
 // instrumented stage joins traces with no call-site changes. Spans with
 // no segment identity are skipped.
+//
+//hfetch:hotpath
 func (lc *Lifecycle) Record(stage, file string, seg int64, tier string, start time.Time, d time.Duration) {
 	if lc == nil || file == "" || seg < 0 || lc.active.Load() == 0 {
 		return

@@ -148,6 +148,8 @@ func (r *Registry) StageHist(stage string) *Histogram {
 // segment has an in-flight trace, the span also joins that trace —
 // no call-site changes needed. Nil-safe; with a nil registry this is a
 // single branch.
+//
+//hfetch:hotpath
 func (r *Registry) Span(stage, file string, segIdx int64, tier string, start time.Time, d time.Duration) {
 	if r == nil {
 		return

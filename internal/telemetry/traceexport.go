@@ -154,6 +154,8 @@ func NewAccessLog(size, every int) *AccessLog {
 }
 
 // Record stores s (subject to sampling). Nil-safe.
+//
+//hfetch:hotpath
 func (l *AccessLog) Record(s AccessSample) {
 	if l == nil {
 		return
