@@ -1,0 +1,233 @@
+package hfetch
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fabricConfig returns a fast-device ClusterFabric config with only
+// node-local tiers, so every cross-node segment must travel the
+// cluster fetch path (a shared tier would serve it locally).
+func fabricConfig(nodes int) Config {
+	cfg := fastConfig(nodes)
+	cfg.ClusterFabric = true
+	cfg.ClusterHeartbeat = 20 * time.Millisecond
+	cfg.Tiers = []TierSpec{
+		{Name: "ram", Capacity: 8 << 20},
+		{Name: "nvme", Capacity: 24 << 20},
+	}
+	cfg.EnableTelemetry = true
+	return cfg
+}
+
+// TestFabricServesLocalMissFromPeerTier proves the tentpole data path:
+// a local miss whose mapping points at a peer is served from the peer's
+// tier (over comm), not from the PFS.
+func TestFabricServesLocalMissFromPeerTier(t *testing.T) {
+	cluster, err := NewCluster(fabricConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	const fsize = 16 * 4096
+	cluster.CreateFile("f", fsize)
+
+	// Every fabric member starts alive (static pre-seed).
+	for i := 0; i < 3; i++ {
+		if !cluster.ClusterNode(i).Membership().WaitView(3, 3*time.Second) {
+			t.Fatalf("node%d view = %v, want 3 members", i, cluster.ClusterNode(i).Membership().View())
+		}
+	}
+
+	// Node 0's client warms node 0's tiers.
+	c0 := cluster.Node(0).NewClient()
+	f0, _ := c0.Open("f")
+	buf := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		f0.ReadAt(buf, off)
+		f0.ReadAt(buf, off) // re-access so scores clear the placement bar
+	}
+	cluster.Node(0).Flush()
+
+	// Node 1's client reads the same file: mappings point at node 0, so
+	// hits must be served through the cluster fetcher.
+	c1 := cluster.Node(1).NewClient()
+	f1, _ := c1.Open("f")
+	got := make([]byte, 4096)
+	want := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		f1.ReadAt(got, off)
+		cluster.FS().ReadAt("f", off, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cross-node read corrupted data at offset %d", off)
+		}
+	}
+	if c1.Stats().Hits() == 0 {
+		t.Fatalf("no cross-node hits: %s", c1.Stats())
+	}
+	reads, _ := cluster.Node(1).Server().RemoteStats()
+	_, serves := cluster.Node(0).Server().RemoteStats()
+	if reads == 0 || serves == 0 {
+		t.Fatalf("peer fetch path unused: reads=%d serves=%d", reads, serves)
+	}
+	if p99 := cluster.ClusterNode(1).Fetcher().PeerP99("node0"); p99 <= 0 {
+		t.Fatalf("per-peer fetch p99 not recorded: %d", p99)
+	}
+	f0.Close()
+	f1.Close()
+}
+
+// TestFabricTCPSmoke boots the 3-node fabric over real loopback TCP —
+// the transport cmd/hfetchd deploys, with true gob serialization and
+// socket teardown — runs reads through it, kills one node mid-run, and
+// asserts the survivors converge and every read keeps succeeding. The
+// CI cluster-smoke job drives this test.
+func TestFabricTCPSmoke(t *testing.T) {
+	cfg := fabricConfig(3)
+	cfg.ClusterTransport = "tcp"
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	const fsize = 16 * 4096
+	cluster.CreateFile("f", fsize)
+	for i := 0; i < 3; i++ {
+		if !cluster.ClusterNode(i).Membership().WaitView(3, 5*time.Second) {
+			t.Fatalf("node%d view = %v, want 3 members over TCP", i, cluster.ClusterNode(i).Membership().View())
+		}
+	}
+
+	c0 := cluster.Node(0).NewClient()
+	f0, _ := c0.Open("f")
+	buf := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		f0.ReadAt(buf, off)
+		f0.ReadAt(buf, off)
+	}
+	cluster.Node(0).Flush()
+	f0.Close()
+
+	// Cross-node reads must travel the TCP peer path.
+	c1 := cluster.Node(1).NewClient()
+	f1, _ := c1.Open("f")
+	for off := int64(0); off < fsize; off += 4096 {
+		if _, err := f1.ReadAt(buf, off); err != nil {
+			t.Fatalf("TCP cross-node read: %v", err)
+		}
+	}
+	_, serves := cluster.Node(0).Server().RemoteStats()
+	if serves == 0 {
+		t.Fatal("no segments served over the TCP peer path")
+	}
+
+	// Kill the warm node mid-run: survivors must converge and reads
+	// degrade to PFS passthrough without a single failure.
+	cluster.KillNode(0)
+	for _, i := range []int{1, 2} {
+		if !cluster.ClusterNode(i).Membership().WaitView(2, 10*time.Second) {
+			t.Fatalf("node%d view = %v, want 2 after TCP kill", i, cluster.ClusterNode(i).Membership().View())
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r1, _ := cluster.ClusterNode(1).RebalanceStats()
+		r2, _ := cluster.ClusterNode(2).RebalanceStats()
+		if r1 > 0 && r2 > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors never rebalanced: n1=%d n2=%d", r1, r2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := make([]byte, 4096)
+	want := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		if n, err := f1.ReadAt(got, off); err != nil || n != 4096 {
+			t.Fatalf("read failed after TCP node death: n=%d err=%v", n, err)
+		}
+		cluster.FS().ReadAt("f", off, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("data corrupted after TCP node death at offset %d", off)
+		}
+	}
+	f1.Close()
+}
+
+// TestFabricNodeDeathDegradesToPFS proves the failure half of the
+// acceptance gate: killing a node mid-run leaves no failed reads — the
+// survivors converge on a smaller view, rebalance the hashmaps, and
+// reads that mapped to the dead node's tiers fall back to the PFS with
+// intact data.
+func TestFabricNodeDeathDegradesToPFS(t *testing.T) {
+	cluster, err := NewCluster(fabricConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	const fsize = 16 * 4096
+	cluster.CreateFile("f", fsize)
+	for i := 0; i < 3; i++ {
+		if !cluster.ClusterNode(i).Membership().WaitView(3, 3*time.Second) {
+			t.Fatalf("node%d never saw the full view", i)
+		}
+	}
+
+	// Warm node 0, then confirm node 1 is being served across the wire.
+	c0 := cluster.Node(0).NewClient()
+	f0, _ := c0.Open("f")
+	buf := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		f0.ReadAt(buf, off)
+		f0.ReadAt(buf, off)
+	}
+	cluster.Node(0).Flush()
+	f0.Close()
+
+	c1 := cluster.Node(1).NewClient()
+	f1, _ := c1.Open("f")
+	for off := int64(0); off < fsize; off += 4096 {
+		f1.ReadAt(buf, off)
+	}
+
+	// Kill node 0. Survivors must age it to dead and rebalance.
+	cluster.KillNode(0)
+	for _, i := range []int{1, 2} {
+		if !cluster.ClusterNode(i).Membership().WaitView(2, 5*time.Second) {
+			t.Fatalf("node%d view = %v, want 2 after kill", i, cluster.ClusterNode(i).Membership().View())
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r1, _ := cluster.ClusterNode(1).RebalanceStats()
+		r2, _ := cluster.ClusterNode(2).RebalanceStats()
+		if r1 > 0 && r2 > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors never rebalanced: n1=%d n2=%d", r1, r2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Every read must still succeed with intact data (PFS passthrough
+	// for anything that lived on node 0).
+	got := make([]byte, 4096)
+	want := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		n, err := f1.ReadAt(got, off)
+		if err != nil || n != 4096 {
+			t.Fatalf("read failed after node death: n=%d err=%v", n, err)
+		}
+		cluster.FS().ReadAt("f", off, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("data corrupted after node death at offset %d", off)
+		}
+	}
+	f1.Close()
+}

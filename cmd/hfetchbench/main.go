@@ -1,12 +1,15 @@
 // Command hfetchbench runs the reproducible wall-clock benchmark suite:
 // weak- and strong-scaling event-drain workloads against the sharded and
-// legacy pipelines, plus an application-read pass for the hit ratio, and
-// writes the schema-versioned report to BENCH_<rev>.json.
+// legacy pipelines, an application-read pass for the hit ratio, the
+// multi-node cluster fabric weak-scale (in-proc 1→8 nodes plus a
+// real-TCP point), and writes the schema-versioned report to
+// BENCH_<rev>.json.
 //
 // Usage:
 //
 //	hfetchbench [-short] [-out file] [-clients 320,640,...]
 //	            [-min-speedup 1.0] [-min-decision-speedup 1.0]
+//	            [-max-cluster-hit-drop 0.05]
 //	            [-trace-out trace.json] [-quiet]
 //	hfetchbench -validate BENCH_abc1234.json
 //	hfetchbench -validate-trace trace.json
@@ -16,10 +19,13 @@
 // regress below the legacy path). -min-decision-speedup N does the same
 // for the movement scenario's sync/async decision-pass p99 ratio: below
 // N means the async mover no longer returns decision passes faster than
-// inline execution. -validate checks an existing report against the
-// schema and exits. -trace-out exports the read scenario's lifecycle
-// traces as Chrome trace_event JSON (load in Perfetto), validated on
-// write; -validate-trace checks an existing trace file and exits.
+// inline execution. -max-cluster-hit-drop N fails when any multi-node
+// fabric scale's aggregate hit ratio falls more than N below the
+// single-node baseline (cross-node serves should keep the fabric at
+// parity). -validate checks an existing report against the schema and
+// exits. -trace-out exports the read scenario's lifecycle traces as
+// Chrome trace_event JSON (load in Perfetto), validated on write;
+// -validate-trace checks an existing trace file and exits.
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	clientsFlag := flag.String("clients", "", "comma-separated client counts (default 320,640,1280,2560; 64,128 short)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail when any sharded/legacy speedup is below this (0 disables)")
 	minDecision := flag.Float64("min-decision-speedup", 0, "fail when the movement scenario's sync/async decision-pass p99 ratio is below this (0 disables)")
+	maxHitDrop := flag.Float64("max-cluster-hit-drop", -1, "fail when any multi-node fabric scale's aggregate hit ratio falls more than this below the single-node baseline (negative disables)")
 	validate := flag.String("validate", "", "validate an existing report file and exit")
 	traceOut := flag.String("trace-out", "", "export the read scenario's lifecycle traces as Perfetto-loadable JSON to this file")
 	validateTrace := flag.String("validate-trace", "", "validate an existing trace JSON file and exit")
@@ -152,6 +159,18 @@ func main() {
 			m.Sync.Decide.P99us, m.Async.Decide.P99us, m.DecisionSpeedup,
 			m.Sync.HitRatio, m.Async.HitRatio)
 	}
+	if rep.Cluster != nil {
+		c := rep.Cluster
+		scales := c.Scales
+		if c.TCP != nil {
+			scales = append(append([]bench.ClusterScale{}, scales...), *c.TCP)
+		}
+		for _, s := range scales {
+			fmt.Printf("  cluster %-6s %d nodes: hit %.3f (baseline %.3f)  remote %d/%d fetch/serve  fetch p99 %.1fµs\n",
+				s.Transport, s.Nodes, s.HitRatio, c.BaselineHitRatio,
+				s.RemoteFetches, s.RemoteServes, s.FetchP99us)
+		}
+	}
 
 	if *minSpeedup > 0 && rep.MinSpeedup() < *minSpeedup {
 		fatalf("sharded pipeline regressed: min speedup %.2fx < required %.2fx",
@@ -164,6 +183,19 @@ func main() {
 		if rep.Movement.DecisionSpeedup < *minDecision {
 			fatalf("async mover regressed: decision speedup %.2fx < required %.2fx",
 				rep.Movement.DecisionSpeedup, *minDecision)
+		}
+	}
+	if *maxHitDrop >= 0 {
+		if rep.Cluster == nil {
+			fatalf("-max-cluster-hit-drop set but the report has no cluster scenario")
+		}
+		min := rep.Cluster.MinMultiNodeHitRatio()
+		if min < 0 {
+			fatalf("-max-cluster-hit-drop set but the cluster scenario has no multi-node scales")
+		}
+		if drop := rep.Cluster.BaselineHitRatio - min; drop > *maxHitDrop {
+			fatalf("cluster fabric regressed: aggregate hit ratio dropped %.3f below the single-node baseline (max allowed %.3f)",
+				drop, *maxHitDrop)
 		}
 	}
 }

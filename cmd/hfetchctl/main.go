@@ -4,6 +4,7 @@
 //
 //	hfetchctl -addr host:port stats
 //	hfetchctl -addr host:port tiers
+//	hfetchctl -addr host:port nodes
 //	hfetchctl -addr host:port metrics [raw]
 //	hfetchctl -addr host:port spans
 //	hfetchctl -addr host:port trace [-csv] [-o file]
@@ -101,6 +102,25 @@ func main() {
 		fmt.Printf("%-8s %12s %12s %10s\n", "TIER", "CAPACITY", "USED", "SEGMENTS")
 		for _, t := range ti {
 			fmt.Printf("%-8s %12d %12d %10d\n", t.Name, t.Capacity, t.Used, t.Segments)
+		}
+	case "nodes":
+		nodes, err := c.Nodes()
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		fmt.Printf("%-12s %-22s %-8s %12s %10s %12s\n",
+			"NODE", "ADDR", "STATE", "HEARTBEAT", "KEYS", "FETCH P99")
+		for _, n := range nodes {
+			hb := "-"
+			if n.HeartbeatAgeNanos > 0 {
+				hb = time.Duration(n.HeartbeatAgeNanos).Round(time.Millisecond).String()
+			}
+			p99 := "-"
+			if n.FetchP99Nanos > 0 {
+				p99 = time.Duration(n.FetchP99Nanos).Round(time.Microsecond).String()
+			}
+			fmt.Printf("%-12s %-22s %-8s %12s %10d %12s\n",
+				n.Name, ellipsis(n.Addr, 22), n.State, hb, n.Keys, p99)
 		}
 	case "trace":
 		fs := flag.NewFlagSet("trace", flag.ExitOnError)
@@ -332,6 +352,7 @@ commands:
   ping                      liveness probe
   stats                     show server counters
   tiers                     show tier occupancy
+  nodes                     show cluster membership (state, heartbeat age, keys, fetch p99)
   metrics [raw]             show telemetry (raw = Prometheus text)
   spans                     show sampled pipeline spans
   trace [-csv] [-o file]    export lifecycle traces (Perfetto JSON; -csv = access log)

@@ -24,9 +24,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hfetch/internal/cluster"
 	"hfetch/internal/comm"
 	"hfetch/internal/config"
 	"hfetch/internal/core/placement"
@@ -43,6 +45,9 @@ import (
 func main() {
 	cfgPath := flag.String("config", "", "path to the JSON configuration (defaults built in)")
 	listen := flag.String("listen", "", "override the listen address")
+	node := flag.String("node", "", "override the node name")
+	peerListen := flag.String("peer-listen", "", "peer-facing listen address; non-empty joins/forms a cluster")
+	seeds := flag.String("seeds", "", "comma-separated peer_listen addresses of existing cluster members")
 	writeDefault := flag.String("write-default", "", "write the default configuration to this path and exit")
 	asyncMover := flag.Bool("async-mover", true, "decouple placement decisions from move execution (async mover pipeline)")
 	moverQueueDepth := flag.Int("mover-queue-depth", 0, "override the per-tier mover queue bound (0 = config/default 256)")
@@ -75,6 +80,20 @@ func main() {
 	if *listen != "" {
 		cfg.Listen = *listen
 	}
+	if *node != "" {
+		cfg.Node = *node
+	}
+	if *peerListen != "" {
+		cfg.PeerListen = *peerListen
+	}
+	if *seeds != "" {
+		cfg.Seeds = nil
+		for _, s := range strings.Split(*seeds, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Seeds = append(cfg.Seeds, s)
+			}
+		}
+	}
 	// Flags override the file only when set on the command line, so a
 	// config file's async_mover / fetch_coalesce choices survive bare
 	// invocations.
@@ -100,17 +119,33 @@ func main() {
 	logger = newLogger(cfg.LogLevel, cfg.LogFormat)
 	slog.SetDefault(logger)
 
-	srv, fs, err := build(cfg)
+	d, err := build(cfg)
 	if err != nil {
 		fail(logger, "build server", err)
 	}
-	srv.Start()
-	defer srv.Stop()
+	d.srv.Start()
+	defer d.srv.Stop()
+
+	if d.cnode != nil {
+		peerSrv, err := comm.ListenTCP(cfg.PeerListen, d.peerMux)
+		if err != nil {
+			fail(logger, "peer listen", err)
+		}
+		defer peerSrv.Close()
+		d.cnode.Start()
+		defer d.cnode.Stop()
+		logger.Info("joined cluster fabric",
+			"component", "cluster",
+			"node", cfg.Node,
+			"peer_addr", peerSrv.Addr(),
+			"seeds", len(cfg.Seeds))
+	}
 
 	mux := comm.NewMux()
 	mux.RegisterPing()
-	remote.Serve(mux, srv)
-	remote.ServeAdmin(mux, fs)
+	remote.Serve(mux, d.srv)
+	remote.ServeAdmin(mux, d.fs)
+	remote.ServeNodes(mux, d.nodeInfos)
 	ts, err := comm.ListenTCP(cfg.Listen, mux)
 	if err != nil {
 		fail(logger, "listen", err)
@@ -122,7 +157,8 @@ func main() {
 		"addr", ts.Addr(),
 		"tiers", len(cfg.Tiers),
 		"segment_bytes", cfg.SegmentSize,
-		"async_mover", cfg.AsyncMover)
+		"async_mover", cfg.AsyncMover,
+		"clustered", d.cnode != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -132,7 +168,7 @@ func main() {
 	if cfg.HTTPListen != "" {
 		httpSrv = &http.Server{
 			Addr:              cfg.HTTPListen,
-			Handler:           remote.NewHTTPHandler(srv),
+			Handler:           remote.NewHTTPHandler(d.srv),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -179,8 +215,41 @@ func fail(logger *slog.Logger, msg string, err error) {
 	os.Exit(1)
 }
 
-// build assembles the server from the configuration.
-func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
+// daemon bundles the built node: the server, its PFS, and (when
+// peer_listen is configured) the cluster fabric pieces.
+type daemon struct {
+	srv     *server.Server
+	fs      *pfs.FS
+	cnode   *cluster.Node
+	peerMux *comm.Mux
+	cfg     config.Config
+}
+
+// nodeInfos answers ctl.nodes: the fabric view when clustered, a single
+// self row otherwise.
+func (d *daemon) nodeInfos() []remote.NodeInfo {
+	if d.cnode == nil {
+		return []remote.NodeInfo{{Name: d.cfg.Node, Addr: d.cfg.Listen, State: "alive"}}
+	}
+	infos := d.cnode.Infos()
+	out := make([]remote.NodeInfo, 0, len(infos))
+	for _, mi := range infos {
+		out = append(out, remote.NodeInfo{
+			Name:              mi.Name,
+			Addr:              mi.Addr,
+			State:             mi.State,
+			HeartbeatAgeNanos: int64(mi.HeartbeatAge),
+			Keys:              mi.Keys,
+			FetchP99Nanos:     mi.FetchP99,
+		})
+	}
+	return out
+}
+
+// build assembles the server (and, when configured, the cluster fabric)
+// from the configuration. The caller starts the peer listener and the
+// fabric after the server is running.
+func build(cfg config.Config) (*daemon, error) {
 	scale := cfg.TimeScale
 	if scale <= 0 {
 		scale = 1
@@ -193,7 +262,7 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 	}, scale))
 	for _, f := range cfg.Files {
 		if err := fs.Create(f.Name, f.Size); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	var stores []*tiers.Store
@@ -210,24 +279,8 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 			shared = append(shared, t.Name)
 		}
 	}
-	var stats, maps *dhm.Map
-	if cfg.WALPath != "" {
-		var err error
-		stats, maps, _, err = server.NewPersistentMaps(cfg.Node, cfg.WALPath)
-		if err != nil {
-			return nil, nil, err
-		}
-	} else {
-		stats, maps = server.NewLocalMaps(cfg.Node)
-	}
-	scfg := server.Config{
-		Node:        cfg.Node,
-		SegmentSize: cfg.SegmentSize,
-		Score:       score.Params{P: cfg.DecayBase, Unit: cfg.DecayUnit()},
-		SeqBoost:    cfg.SeqBoost,
-		HeatDir:     cfg.HeatDir,
-		SharedTiers: shared,
-	}
+
+	var reg *telemetry.Registry
 	if !cfg.DisableTelemetry {
 		size, every := cfg.SpanLogSize, cfg.SpanSampleEvery
 		if size <= 0 {
@@ -236,7 +289,7 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 		if every <= 0 {
 			every = 16
 		}
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		reg.EnableSpans(size, every)
 		if cfg.TimeSampleEvery > 0 {
 			reg.SetTimeSampling(cfg.TimeSampleEvery)
@@ -244,7 +297,55 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 		if !cfg.DisableLifecycle {
 			reg.EnableLifecycle(cfg.LifecycleRing, cfg.LifecycleSampleEvery, cfg.LifecycleMaxActive)
 		}
-		scfg.Telemetry = reg
+	}
+
+	d := &daemon{fs: fs, cfg: cfg}
+	var stats, maps *dhm.Map
+	if cfg.Clustered() {
+		hb, suspect, dead := cfg.ClusterTimings()
+		reqTimeout := cfg.PeerRequestTimeout()
+		d.peerMux = comm.NewMux()
+		d.peerMux.RegisterPing()
+		d.cnode = cluster.New(cluster.Config{
+			Self:              cfg.Node,
+			Addr:              cfg.PeerListen,
+			Seeds:             cfg.Seeds,
+			HeartbeatInterval: hb,
+			SuspectAfter:      suspect,
+			DeadAfter:         dead,
+			Mux:               d.peerMux,
+			DialAddr: func(addr string) (comm.Peer, error) {
+				return comm.DialTCPOpts(addr, comm.PeerOptions{
+					DialTimeout:    reqTimeout,
+					RequestTimeout: reqTimeout,
+					DialAttempts:   2,
+				})
+			},
+			Telemetry: reg,
+		})
+		var err error
+		stats, maps, _, err = server.NewClusterMaps(cfg.Node, cfg.WALPath, d.cnode.Dialer(), d.peerMux)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.WALPath != "" {
+		var err error
+		stats, maps, _, err = server.NewPersistentMaps(cfg.Node, cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		stats, maps = server.NewLocalMaps(cfg.Node)
+	}
+
+	scfg := server.Config{
+		Node:        cfg.Node,
+		SegmentSize: cfg.SegmentSize,
+		Score:       score.Params{P: cfg.DecayBase, Unit: cfg.DecayUnit()},
+		SeqBoost:    cfg.SeqBoost,
+		HeatDir:     cfg.HeatDir,
+		SharedTiers: shared,
+		Telemetry:   reg,
 	}
 	scfg.Monitor.Daemons = cfg.Daemons
 	scfg.Monitor.Shards = cfg.EventShards
@@ -263,7 +364,11 @@ func build(cfg config.Config) (*server.Server, *pfs.FS, error) {
 	scfg.FetchWait = cfg.FetchWait()
 	srv, err := server.New(scfg, fs, tiers.NewHierarchy(stores...), stats, maps)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return srv, fs, nil
+	d.srv = srv
+	if d.cnode != nil {
+		d.cnode.Attach(srv, stats, maps)
+	}
+	return d, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hfetch/internal/cluster"
 	"hfetch/internal/comm"
 	"hfetch/internal/core/agent"
 	"hfetch/internal/core/placement"
@@ -139,6 +140,23 @@ type Config struct {
 	Tiers []TierSpec
 	// PFS models the origin file system.
 	PFS PFSSpec
+	// ClusterFabric runs the real multi-node fabric (internal/cluster)
+	// over the emulated in-process network: heartbeat membership,
+	// view-change hashmap rebalancing, node-aware update routing, and
+	// the guarded cross-node fetch path. Off by default — the legacy
+	// static wiring is kept for existing callers — and effective only
+	// when Nodes > 1. Killed nodes (Cluster.KillNode) are then detected
+	// by the survivors, which rebalance around them.
+	ClusterFabric bool
+	// ClusterHeartbeat is the fabric's heartbeat interval (default 50ms;
+	// suspect and dead thresholds scale from it).
+	ClusterHeartbeat time.Duration
+	// ClusterTransport selects how fabric peers talk: "" or "inproc"
+	// (emulated in-process network) or "tcp" (real framed-gob TCP on
+	// loopback — the same transport cmd/hfetchd deploys, so benchmarks
+	// and smoke tests exercise true serialization and socket costs).
+	// Only meaningful with ClusterFabric.
+	ClusterTransport string
 }
 
 // Reactiveness presets for Config.EngineUpdateThreshold (paper Fig 3b).
@@ -181,6 +199,7 @@ func DefaultConfig() Config {
 type Cluster struct {
 	cfg     Config
 	fs      *pfs.FS
+	net     *comm.InprocNetwork
 	nodes   []*Node
 	learner *score.Learned
 }
@@ -189,6 +208,8 @@ type Cluster struct {
 type Node struct {
 	name string
 	srv  *server.Server
+	cn   *cluster.Node   // fabric membership; nil unless ClusterFabric
+	tcp  *comm.TCPServer // peer listener; nil unless ClusterTransport "tcp"
 }
 
 // NewCluster builds and starts a cluster.
@@ -231,8 +252,43 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	net := comm.NewInprocNetwork(nil)
 	dial := inprocDialer{net}
+	fabric := cfg.ClusterFabric && cfg.Nodes > 1
+	useTCP := fabric && cfg.ClusterTransport == "tcp"
+	// Every node's mux exists before any node boots: the fabric needs the
+	// full roster (and, over TCP, every peer's bound address) up front so
+	// boot skips the discovery churn and the rebalances it would trigger.
+	muxes := make([]*comm.Mux, cfg.Nodes)
+	for i := range muxes {
+		muxes[i] = comm.NewMux()
+	}
+	var static map[string]string
+	var tcpSrvs []*comm.TCPServer
+	if fabric {
+		static = make(map[string]string, cfg.Nodes)
+		if useTCP {
+			tcpSrvs = make([]*comm.TCPServer, cfg.Nodes)
+			for i := range muxes {
+				ts, err := comm.ListenTCP("127.0.0.1:0", muxes[i])
+				if err != nil {
+					for _, prev := range tcpSrvs {
+						if prev != nil {
+							prev.Close()
+						}
+					}
+					return nil, err
+				}
+				tcpSrvs[i] = ts
+				static[names[i]] = ts.Addr()
+			}
+		} else {
+			// The in-process fabric addresses peers by node name.
+			for _, name := range names {
+				static[name] = name
+			}
+		}
+	}
 
-	c := &Cluster{cfg: cfg, fs: fs}
+	c := &Cluster{cfg: cfg, fs: fs, net: net}
 	if cfg.EnableML {
 		c.learner = score.NewLearned(0, cfg.DecayUnit)
 	}
@@ -247,12 +303,50 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		hier := tiers.NewHierarchy(stores...)
 
-		mux := comm.NewMux()
+		var reg *telemetry.Registry
+		if cfg.EnableTelemetry {
+			// One registry per node: snapshot-time closures (queue depth,
+			// tier occupancy) are bound to a single server each; merge
+			// per-node snapshots with Cluster.TelemetrySnapshot.
+			reg = telemetry.NewRegistry()
+			reg.EnableSpans(cfg.SpanLogSize, cfg.SpanSampleEvery)
+			if cfg.TimeSampleEvery > 0 {
+				reg.SetTimeSampling(cfg.TimeSampleEvery)
+			}
+			if cfg.EnableLifecycle {
+				reg.EnableLifecycle(cfg.LifecycleRing, cfg.LifecycleSampleEvery, cfg.LifecycleMaxActive)
+			}
+		}
+
+		mux := muxes[i]
+		var cn *cluster.Node
 		var dl dhm.Dialer
 		var nodeList []string
 		if cfg.Nodes > 1 {
 			dl = dial
 			nodeList = names
+		}
+		if fabric {
+			dialAddr := func(addr string) (comm.Peer, error) { return net.Dial(addr), nil }
+			if useTCP {
+				dialAddr = func(addr string) (comm.Peer, error) {
+					return comm.DialTCPOpts(addr, comm.PeerOptions{
+						DialTimeout:    time.Second,
+						RequestTimeout: 2 * time.Second,
+						DialAttempts:   2,
+					})
+				}
+			}
+			cn = cluster.New(cluster.Config{
+				Self:              names[i],
+				Addr:              static[names[i]],
+				Static:            static,
+				HeartbeatInterval: cfg.ClusterHeartbeat,
+				Mux:               mux,
+				DialAddr:          dialAddr,
+				Telemetry:         reg,
+			})
+			dl = cn.Dialer()
 		}
 		stats := dhm.New(dhm.Config{Name: "hfetch-stats", Self: names[i], Nodes: nodeList, Dialer: dl}, mux)
 		maps := dhm.New(dhm.Config{Name: "hfetch-maps", Self: names[i], Nodes: nodeList, Dialer: dl}, mux)
@@ -273,20 +367,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			SharedTiers: sharedNames,
 			Learner:     c.learner,
 		}
-		if cfg.EnableTelemetry {
-			// One registry per node: snapshot-time closures (queue depth,
-			// tier occupancy) are bound to a single server each; merge
-			// per-node snapshots with Cluster.TelemetrySnapshot.
-			reg := telemetry.NewRegistry()
-			reg.EnableSpans(cfg.SpanLogSize, cfg.SpanSampleEvery)
-			if cfg.TimeSampleEvery > 0 {
-				reg.SetTimeSampling(cfg.TimeSampleEvery)
-			}
-			if cfg.EnableLifecycle {
-				reg.EnableLifecycle(cfg.LifecycleRing, cfg.LifecycleSampleEvery, cfg.LifecycleMaxActive)
-			}
-			srvCfg.Telemetry = reg
-		}
+		srvCfg.Telemetry = reg
 		srvCfg.Monitor.Daemons = cfg.DaemonThreads
 		srvCfg.Monitor.Shards = cfg.EventShards
 		srvCfg.Monitor.WorkersPerShard = cfg.WorkersPerShard
@@ -305,11 +386,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		if cfg.Nodes > 1 {
+		if cn != nil {
+			cn.Attach(srv, stats, maps)
+		} else if cfg.Nodes > 1 {
 			srv.EnableRemote(mux, dial)
 		}
 		srv.Start()
-		c.nodes = append(c.nodes, &Node{name: names[i], srv: srv})
+		if cn != nil {
+			cn.Start()
+		}
+		node := &Node{name: names[i], srv: srv, cn: cn}
+		if useTCP {
+			node.tcp = tcpSrvs[i]
+		}
+		c.nodes = append(c.nodes, node)
 	}
 	return c, nil
 }
@@ -328,6 +418,12 @@ func (d inprocDialer) Dial(node string) comm.Peer { return d.net.Dial(node) }
 // Stop shuts down every node.
 func (c *Cluster) Stop() {
 	for _, n := range c.nodes {
+		if n.tcp != nil {
+			n.tcp.Close()
+		}
+		if n.cn != nil {
+			n.cn.Stop()
+		}
 		n.srv.Stop()
 	}
 }
@@ -337,6 +433,26 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 
 // Node returns the i-th node.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// KillNode simulates node i crashing: it is torn off the in-process
+// network (peers' requests to it start failing), its fabric agent and
+// server stop. With ClusterFabric on, the survivors age it to suspect,
+// then dead, and rebalance the hashmaps around it; reads that mapped to
+// its tiers degrade to PFS passthrough.
+func (c *Cluster) KillNode(i int) {
+	n := c.nodes[i]
+	c.net.Leave(n.name)
+	if n.tcp != nil {
+		n.tcp.Close()
+	}
+	if n.cn != nil {
+		n.cn.Stop()
+	}
+	n.srv.Stop()
+}
+
+// ClusterNode exposes node i's fabric agent (nil unless ClusterFabric).
+func (c *Cluster) ClusterNode(i int) *cluster.Node { return c.nodes[i].cn }
 
 // CreateFile registers a synthetic file of the given size in the PFS.
 func (c *Cluster) CreateFile(name string, size int64) error {

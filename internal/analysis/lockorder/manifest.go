@@ -44,7 +44,8 @@ type Manifest struct {
 
 // Default returns the manifest for this repo's chain:
 //
-//	ring → (released) → epoch → (released) → dhm → (released) →
+//	ring → (released) → epoch → (released) → membership mu →
+//	(released) → dhm → (released) → cluster fetch mu → (released) →
 //	engine runMu → engine mu → mover mu → tier store mutex
 func Default() Manifest {
 	return Manifest{
@@ -53,8 +54,12 @@ func Default() Manifest {
 				Fields: []FieldSel{{"hfetch/internal/events.Queue", "mu"}}},
 			{Name: "epoch", ReleasedBefore: true,
 				Fields: []FieldSel{{"hfetch/internal/core/auditor.epochStripe", "mu"}}},
+			{Name: "membership", ReleasedBefore: true,
+				Fields: []FieldSel{{"hfetch/internal/cluster.Membership", "mu"}}},
 			{Name: "dhm", ReleasedBefore: true,
 				Fields: []FieldSel{{"hfetch/internal/dhm.shard", "mu"}}},
+			{Name: "cluster-fetch", ReleasedBefore: true,
+				Fields: []FieldSel{{"hfetch/internal/cluster.Fetcher", "mu"}}},
 			{Name: "engine-run",
 				Fields: []FieldSel{{"hfetch/internal/core/placement.Engine", "runMu"}}},
 			{Name: "engine-mu",
@@ -91,7 +96,9 @@ type ChainEntry struct {
 var chainPhrases = map[string]string{
 	"ring mutex":       "ring",
 	"epoch stripe":     "epoch",
+	"membership mu":    "membership",
 	"dhm shard":        "dhm",
+	"cluster fetch mu": "cluster-fetch",
 	"engine runMu":     "engine-run",
 	"engine mu":        "engine-mu",
 	"mover mu":         "mover",

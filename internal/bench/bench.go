@@ -5,9 +5,13 @@
 // plus an application-read scenario for the end-to-end hit ratio and a
 // data-movement scenario comparing the synchronous engine against the
 // async mover pipeline (decision-pass latency, queue depths, fetch
-// coalescing, read stalls), and assembles the results into the
-// schema-versioned report written to BENCH_<rev>.json (see
-// BENCHMARKS.md for the schema and baselines).
+// coalescing, read stalls), a cluster scenario weak-scaling the
+// multi-node fabric (1→8 emulated daemons over the in-process
+// transport plus a real-TCP point, reporting aggregate hit ratio
+// against the single-node baseline and cross-node fetch quantiles),
+// and assembles the results into the schema-versioned report written
+// to BENCH_<rev>.json (see BENCHMARKS.md for the schema and
+// baselines).
 //
 // Unlike internal/harness, which reproduces the paper's figures in
 // modeled device time, bench measures the *implementation*: wall-clock
@@ -197,6 +201,22 @@ func Run(o Options, logf func(format string, args ...any)) (Report, error) {
 	}
 	logf("move   decision speedup %.1fx (sync p99 / async p99)", movement.DecisionSpeedup)
 	rep.Movement = &movement
+
+	clusterRes, err := runCluster(o)
+	if err != nil {
+		return rep, fmt.Errorf("cluster: %w", err)
+	}
+	for _, s := range clusterRes.Scales {
+		logf("fabric %-6s %d nodes: hit %.3f (baseline %.3f)  remote %d fetch / %d serve  fetch p99 %8.1fµs  (%.3fs)",
+			s.Transport, s.Nodes, s.HitRatio, clusterRes.BaselineHitRatio,
+			s.RemoteFetches, s.RemoteServes, s.FetchP99us, s.Seconds)
+	}
+	if s := clusterRes.TCP; s != nil {
+		logf("fabric %-6s %d nodes: hit %.3f (baseline %.3f)  remote %d fetch / %d serve  fetch p99 %8.1fµs  (%.3fs)",
+			s.Transport, s.Nodes, s.HitRatio, clusterRes.BaselineHitRatio,
+			s.RemoteFetches, s.RemoteServes, s.FetchP99us, s.Seconds)
+	}
+	rep.Cluster = &clusterRes
 	return rep, nil
 }
 

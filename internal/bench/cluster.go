@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hfetch"
+	"hfetch/internal/telemetry"
+)
+
+// ClusterScale is one point of the cluster scenario: a fabric of
+// `Nodes` daemons where every node warms its own files and then reads
+// its neighbour's, so every multi-node hit crosses the wire.
+type ClusterScale struct {
+	Nodes     int    `json:"nodes"`
+	Transport string `json:"transport"` // inproc | tcp
+	// SegmentsRead counts the measured (neighbour-reading) phase only;
+	// the warm-up phase's reads are discarded.
+	SegmentsRead int64   `json:"segments_read"`
+	HitRatio     float64 `json:"hit_ratio"`
+	// RemoteFetches/RemoteServes are the peer-path counters summed over
+	// all nodes: fetches issued on local miss, segments served to peers.
+	RemoteFetches int64 `json:"remote_fetches"`
+	RemoteServes  int64 `json:"remote_serves"`
+	// FetchP50us/FetchP99us summarize the cross-node fetch latency
+	// merged across every node's per-peer histograms (0 at one node:
+	// there is no remote path to measure).
+	FetchP50us float64 `json:"fetch_p50_us"`
+	FetchP99us float64 `json:"fetch_p99_us"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// ClusterResult is the cluster scenario's report block: the weak-scale
+// sweep over the in-process transport plus one real-TCP run, with the
+// single-node point as the hit-ratio baseline the multi-node fabric
+// must not fall below.
+type ClusterResult struct {
+	BaselineHitRatio float64        `json:"baseline_hit_ratio"`
+	Scales           []ClusterScale `json:"scales"`
+	TCP              *ClusterScale  `json:"tcp,omitempty"`
+}
+
+// MinMultiNodeHitRatio returns the smallest aggregate hit ratio across
+// the multi-node scales (TCP included), or -1 when there are none.
+func (c ClusterResult) MinMultiNodeHitRatio() float64 {
+	min := -1.0
+	scales := c.Scales
+	if c.TCP != nil {
+		scales = append(append([]ClusterScale{}, scales...), *c.TCP)
+	}
+	for _, s := range scales {
+		if s.Nodes <= 1 {
+			continue
+		}
+		if min < 0 || s.HitRatio < min {
+			min = s.HitRatio
+		}
+	}
+	return min
+}
+
+// clusterConfig builds a near-free-device fabric whose tiers are all
+// node-local, so a neighbour's segment can only arrive over the peer
+// fetch path (a shared tier would serve it without touching the wire).
+func clusterConfig(o Options, nodes int, transport string, perNode int64) hfetch.Config {
+	fast := func(name string, capacity int64) hfetch.TierSpec {
+		return hfetch.TierSpec{
+			Name: name, Capacity: capacity,
+			Latency: time.Nanosecond, Bandwidth: 1 << 40, Channels: 8,
+		}
+	}
+	return hfetch.Config{
+		Nodes:           nodes,
+		SegmentSize:     benchSegSize,
+		EventShards:     o.Shards,
+		WorkersPerShard: 1,
+		EnableTelemetry: true,
+		TimeSampleEvery: 8,
+		// Reactive placement: the warm-up pass must actually land in the
+		// tiers before the measured pass, so the engine runs eagerly and
+		// the scenario flushes between phases.
+		EngineInterval:        20 * time.Millisecond,
+		EngineUpdateThreshold: 64,
+		ClusterFabric:         true,
+		ClusterHeartbeat:      20 * time.Millisecond,
+		ClusterTransport:      transport,
+		Tiers: []hfetch.TierSpec{
+			fast("ram", 2*perNode),
+			fast("nvme", 4*perNode),
+		},
+		PFS: hfetch.PFSSpec{Latency: time.Nanosecond, Bandwidth: 1 << 40, Servers: 8},
+	}
+}
+
+// runClusterScale measures one fabric size: phase one warms every
+// node's own files (reads discarded), phase two times each node reading
+// its neighbour's files, which at any multi-node scale must be served
+// across the wire or degrade to the PFS.
+func runClusterScale(o Options, nodes int, transport string) (ClusterScale, error) {
+	filesPer, segs := 4, int64(16)
+	if o.Short {
+		filesPer, segs = 2, 8
+	}
+	perNode := int64(filesPer) * segs * benchSegSize
+	cluster, err := hfetch.NewCluster(clusterConfig(o, nodes, transport, perNode))
+	if err != nil {
+		return ClusterScale{}, err
+	}
+	defer cluster.Stop()
+
+	if nodes > 1 {
+		for i := 0; i < nodes; i++ {
+			if !cluster.ClusterNode(i).Membership().WaitView(nodes, 10*time.Second) {
+				return ClusterScale{}, fmt.Errorf("node%d never saw the %d-member view", i, nodes)
+			}
+		}
+	}
+
+	name := func(node, file int) string {
+		return fmt.Sprintf("/bench/cluster-n%02d-f%02d.dat", node, file)
+	}
+	fileSize := segs * benchSegSize
+	for n := 0; n < nodes; n++ {
+		for f := 0; f < filesPer; f++ {
+			if err := cluster.CreateFile(name(n, f), fileSize); err != nil {
+				return ClusterScale{}, err
+			}
+		}
+	}
+
+	// Phase one: every node warms its own files — each segment read
+	// twice so scores clear the placement bar — then flushes so the
+	// placements land before the clock starts.
+	var wg sync.WaitGroup
+	errCh := make(chan error, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			cl := cluster.Node(n).NewClient()
+			buf := make([]byte, benchSegSize)
+			for f := 0; f < filesPer; f++ {
+				fh, err := cl.Open(name(n, f))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for s := int64(0); s < segs; s++ {
+					fh.ReadAt(buf, s*benchSegSize)
+					fh.ReadAt(buf, s*benchSegSize)
+				}
+				fh.Close()
+			}
+			cluster.Node(n).Flush()
+		}(n)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return ClusterScale{}, err
+		}
+	}
+
+	// Phase two (timed): every node reads its neighbour's files once.
+	// At one node the neighbour is itself (the baseline); at any larger
+	// scale every hit is a cross-node serve.
+	var mu sync.Mutex
+	var hits, misses, reads int64
+	errCh = make(chan error, nodes)
+	start := time.Now()
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			cl := cluster.Node(n).NewClient()
+			buf := make([]byte, benchSegSize)
+			owner := (n + 1) % nodes
+			for f := 0; f < filesPer; f++ {
+				fh, err := cl.Open(name(owner, f))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for s := int64(0); s < segs; s++ {
+					if _, err := fh.ReadAt(buf, s*benchSegSize); err != nil {
+						errCh <- fmt.Errorf("read %s seg %d: %w", name(owner, f), s, err)
+						fh.Close()
+						return
+					}
+				}
+				fh.Close()
+			}
+			st := cl.Stats()
+			mu.Lock()
+			hits += st.Hits()
+			misses += st.Misses()
+			reads += st.Reads()
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return ClusterScale{}, err
+		}
+	}
+
+	res := ClusterScale{
+		Nodes: nodes, Transport: transport,
+		SegmentsRead: reads,
+		Seconds:      elapsed.Seconds(),
+	}
+	if hits+misses > 0 {
+		res.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	var fetchHist telemetry.HistSnapshot
+	for n := 0; n < nodes; n++ {
+		fetches, serves := cluster.Node(n).Server().RemoteStats()
+		res.RemoteFetches += fetches
+		res.RemoteServes += serves
+		if cn := cluster.ClusterNode(n); cn != nil {
+			fetchHist.Merge(cn.Fetcher().FetchSnapshot())
+		}
+	}
+	if fetchHist.Count > 0 {
+		res.FetchP50us = float64(fetchHist.Quantile(0.50)) / 1e3
+		res.FetchP99us = float64(fetchHist.Quantile(0.99)) / 1e3
+	}
+	return res, nil
+}
+
+// runCluster sweeps the fabric sizes over the in-process transport and
+// adds the 3-node real-TCP point.
+func runCluster(o Options) (ClusterResult, error) {
+	scales := []int{1, 2, 4, 8}
+	if o.Short {
+		scales = []int{1, 2, 4}
+	}
+	var out ClusterResult
+	for _, n := range scales {
+		s, err := runClusterScale(o, n, "inproc")
+		if err != nil {
+			return out, fmt.Errorf("cluster %d nodes: %w", n, err)
+		}
+		if n == 1 {
+			out.BaselineHitRatio = s.HitRatio
+		}
+		out.Scales = append(out.Scales, s)
+	}
+	tcpNodes := 3
+	if o.Short {
+		tcpNodes = 2
+	}
+	tcp, err := runClusterScale(o, tcpNodes, "tcp")
+	if err != nil {
+		return out, fmt.Errorf("cluster %d nodes over tcp: %w", tcpNodes, err)
+	}
+	out.TCP = &tcp
+	return out, nil
+}

@@ -10,8 +10,11 @@ import (
 // the minor conventions in BENCHMARKS.md, incompatible changes bump this
 // number. Version 2 added the prefetch-effectiveness block (timely /
 // late / wasted / redundant counts and lead-time quantiles) to the reads
-// and movement scenarios.
-const SchemaVersion = 2
+// and movement scenarios. Version 3 added the required cluster block:
+// the weak-scaling fabric sweep (aggregate hit ratio vs. the single-node
+// baseline, cross-node fetch quantiles, peer-path counters) plus the
+// real-TCP point.
+const SchemaVersion = 3
 
 // Effectiveness summarizes the prefetch-effectiveness ledger for one
 // scenario run: how each prefetched segment's lifecycle ended, and the
@@ -141,6 +144,7 @@ type Report struct {
 	Drain       []DrainResult   `json:"drain"`
 	Reads       *ReadResult     `json:"reads,omitempty"`
 	Movement    *MovementResult `json:"movement,omitempty"`
+	Cluster     *ClusterResult  `json:"cluster,omitempty"`
 	Comparisons []Comparison    `json:"comparisons"`
 }
 
@@ -287,6 +291,73 @@ func Validate(raw []byte) []error {
 			}
 			if v, ok := m["decision_speedup"].(float64); !ok || v <= 0 {
 				bad("movement.decision_speedup: missing or <= 0")
+			}
+		}
+	}
+
+	checkScale := func(where string, sm map[string]any) {
+		nodes, _ := sm["nodes"].(float64)
+		if nodes < 1 {
+			bad("%s.nodes: missing or < 1", where)
+		}
+		if tr, _ := sm["transport"].(string); tr != "inproc" && tr != "tcp" {
+			bad("%s.transport: got %q, want inproc|tcp", where, tr)
+		}
+		if hr, ok := sm["hit_ratio"].(float64); !ok || hr < 0 || hr > 1 {
+			bad("%s.hit_ratio: missing or outside [0,1]", where)
+		}
+		for _, key := range []string{"segments_read", "seconds"} {
+			if v, ok := sm[key].(float64); !ok || v <= 0 {
+				bad("%s.%s: missing or <= 0", where, key)
+			}
+		}
+		if nodes > 1 {
+			// A multi-node point must have exercised the peer path: the
+			// report is required to carry a measured cross-node fetch p99
+			// (arXiv:2503.08966's lesson — gate on latency, not just hits).
+			for _, key := range []string{"remote_fetches", "remote_serves", "fetch_p99_us"} {
+				if v, ok := sm[key].(float64); !ok || v <= 0 {
+					bad("%s.%s: missing or <= 0 (peer path unmeasured)", where, key)
+				}
+			}
+		}
+	}
+	if cl, present := doc["cluster"]; present && cl != nil {
+		m, ok := cl.(map[string]any)
+		if !ok {
+			bad("cluster: not an object")
+		} else {
+			if v, ok := m["baseline_hit_ratio"].(float64); !ok || v < 0 || v > 1 {
+				bad("cluster.baseline_hit_ratio: missing or outside [0,1]")
+			}
+			scales, ok := m["scales"].([]any)
+			if !ok || len(scales) == 0 {
+				bad("cluster.scales: missing or empty")
+			}
+			sawSingle := false
+			for i, s := range scales {
+				sm, ok := s.(map[string]any)
+				if !ok {
+					bad("cluster.scales[%d]: not an object", i)
+					continue
+				}
+				if n, _ := sm["nodes"].(float64); n == 1 {
+					sawSingle = true
+				}
+				checkScale(fmt.Sprintf("cluster.scales[%d]", i), sm)
+			}
+			if len(scales) > 0 && !sawSingle {
+				bad("cluster.scales: missing the single-node baseline point")
+			}
+			if tcp, present := m["tcp"]; present && tcp != nil {
+				if tm, ok := tcp.(map[string]any); ok {
+					checkScale("cluster.tcp", tm)
+					if tr, _ := tm["transport"].(string); tr != "tcp" {
+						bad("cluster.tcp.transport: got %q, want tcp", tr)
+					}
+				} else {
+					bad("cluster.tcp: not an object")
+				}
 			}
 		}
 	}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"hfetch/internal/comm"
+	"hfetch/internal/core/seg"
+	"hfetch/internal/telemetry"
+)
+
+// remoteCaller issues one direct peer read; implemented by
+// *server.Server (ReadRemoteDirect).
+type remoteCaller interface {
+	ReadRemoteDirect(node, tier string, id seg.ID, off int64, p []byte) (int, bool, error)
+}
+
+// FetcherConfig tunes the cross-node fetch path.
+type FetcherConfig struct {
+	// BackoffBase and BackoffMax bound the per-peer cooldown after a
+	// transport failure (defaults 100ms and 5s; doubles per failure).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// SuspectAfter is the consecutive-transport-failure count after
+	// which the peer is reported suspect to membership (default
+	// comm.DefaultHealthThreshold).
+	SuspectAfter int
+	// Health, when non-nil, records per-peer outcomes (shared with the
+	// membership prober so both paths feed one verdict).
+	Health *comm.Health
+	// Telemetry, when non-nil, exports fetch counters and the per-peer
+	// latency histogram.
+	Telemetry *telemetry.Registry
+}
+
+// Fetcher is the cluster-aware remote read path installed via
+// server.SetRemoteReader. On a local miss whose mapping points at a
+// peer's tier it serves the read over comm — the peer's RAM/NVMe is
+// still far faster than the PFS — with three guards so a sick cluster
+// degrades to PFS passthrough instead of stalling reads:
+//
+//   - a membership gate: suspect or dead peers are never asked;
+//   - single-flight: concurrent reads of the same remote range share
+//     one request;
+//   - per-peer cooldown with doubling backoff after transport failures,
+//     and a suspect report to membership after SuspectAfter consecutive
+//     failures.
+//
+// Lock discipline: mu is released before any network call ("cluster
+// fetch mu" in the lock order manifest).
+type Fetcher struct {
+	cfg  FetcherConfig
+	mem  *Membership
+	call remoteCaller
+
+	mu       sync.Mutex
+	inflight map[string]*fetchCall
+	cooldown map[string]*peerCooldown
+
+	fetches   *telemetry.CounterVec // outcome: hit|stale|error|gated|shared
+	latency   *telemetry.HistVec    // per-peer fetch nanos
+	histMu    sync.Mutex
+	histByWho map[string]*telemetry.Histogram // always kept, even without a registry
+}
+
+type fetchCall struct {
+	done chan struct{}
+	n    int
+	ok   bool
+	data []byte
+}
+
+type peerCooldown struct {
+	failures int
+	nextTry  time.Time
+	backoff  time.Duration
+}
+
+// NewFetcher builds the fetch path over a membership view and a direct
+// caller (the local server).
+func NewFetcher(cfg FetcherConfig, mem *Membership, call remoteCaller) *Fetcher {
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = comm.DefaultHealthThreshold
+	}
+	f := &Fetcher{
+		cfg:       cfg,
+		mem:       mem,
+		call:      call,
+		inflight:  make(map[string]*fetchCall),
+		cooldown:  make(map[string]*peerCooldown),
+		histByWho: make(map[string]*telemetry.Histogram),
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		f.fetches = reg.CounterVec("hfetch_cluster_fetches_total", "cross-node segment fetches by outcome", "outcome")
+		f.latency = reg.HistVec("hfetch_peer_fetch_nanos", "cross-node fetch latency by peer in nanoseconds", "peer")
+	}
+	return f
+}
+
+// ReadRemote implements server.RemoteReader. ok=false means "go to the
+// PFS" — the caller cannot distinguish why, by design: every failure
+// mode of the remote path has the same safe fallback.
+func (f *Fetcher) ReadRemote(node, tier string, id seg.ID, off int64, p []byte) (int, bool) {
+	if f.mem != nil && !f.mem.Usable(node) {
+		f.outcome("gated")
+		return 0, false
+	}
+	if !f.admit(node) {
+		f.outcome("gated")
+		return 0, false
+	}
+
+	key := fetchKey(node, tier, id, off, len(p))
+	f.mu.Lock()
+	if c, ok := f.inflight[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		if !c.ok {
+			return 0, false
+		}
+		f.outcome("shared")
+		return copy(p, c.data[:c.n]), true
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	f.inflight[key] = c
+	f.mu.Unlock()
+
+	// Leader: perform the request with no fetcher lock held.
+	start := time.Now()
+	buf := make([]byte, len(p))
+	n, ok, err := f.call.ReadRemoteDirect(node, tier, id, off, buf)
+	d := time.Since(start)
+	f.cfg.Health.Observe(node, d, err)
+	f.settle(node, err)
+	switch {
+	case err != nil:
+		f.outcome("error")
+	case !ok:
+		f.outcome("stale")
+	default:
+		f.outcome("hit")
+		f.observeLatency(node, d)
+	}
+
+	c.n, c.ok, c.data = n, ok && err == nil, buf
+	f.mu.Lock()
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	close(c.done)
+
+	if !c.ok {
+		return 0, false
+	}
+	return copy(p, buf[:n]), true
+}
+
+// admit checks the per-peer cooldown window.
+func (f *Fetcher) admit(node string) bool {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cd := f.cooldown[node]
+	return cd == nil || !now.Before(cd.nextTry)
+}
+
+// settle updates the cooldown state after an attempt: transport errors
+// open (and double) the backoff window; any completed exchange —
+// success or a clean "not resident" — closes it.
+func (f *Fetcher) settle(node string, err error) {
+	var suspect bool
+	f.mu.Lock()
+	if err == nil {
+		delete(f.cooldown, node)
+		f.mu.Unlock()
+		return
+	}
+	cd := f.cooldown[node]
+	if cd == nil {
+		cd = &peerCooldown{backoff: f.cfg.BackoffBase}
+		f.cooldown[node] = cd
+	}
+	cd.failures++
+	cd.nextTry = time.Now().Add(cd.backoff)
+	if cd.backoff *= 2; cd.backoff > f.cfg.BackoffMax {
+		cd.backoff = f.cfg.BackoffMax
+	}
+	suspect = cd.failures >= f.cfg.SuspectAfter
+	f.mu.Unlock()
+	if suspect && f.mem != nil {
+		f.mem.Suspect(node)
+	}
+}
+
+func (f *Fetcher) outcome(o string) {
+	if f.fetches != nil {
+		f.fetches.With(o).Inc()
+	}
+}
+
+func (f *Fetcher) observeLatency(node string, d time.Duration) {
+	if f.latency != nil {
+		f.latency.With(node).Observe(int64(d))
+	}
+	f.histMu.Lock()
+	h := f.histByWho[node]
+	if h == nil {
+		h = &telemetry.Histogram{}
+		f.histByWho[node] = h
+	}
+	f.histMu.Unlock()
+	h.Observe(int64(d))
+}
+
+// PeerP99 returns the observed cross-node fetch p99 for node in
+// nanoseconds (0 when no fetches have completed).
+func (f *Fetcher) PeerP99(node string) int64 {
+	f.histMu.Lock()
+	h := f.histByWho[node]
+	f.histMu.Unlock()
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(0.99)
+}
+
+// FetchSnapshot merges every peer's fetch-latency histogram into one
+// snapshot, for aggregate quantiles across the whole remote path.
+func (f *Fetcher) FetchSnapshot() telemetry.HistSnapshot {
+	f.histMu.Lock()
+	defer f.histMu.Unlock()
+	var out telemetry.HistSnapshot
+	for _, h := range f.histByWho {
+		out.Merge(h.Snapshot())
+	}
+	return out
+}
+
+func fetchKey(node, tier string, id seg.ID, off int64, length int) string {
+	return node + "|" + tier + "|" + id.File + "|" +
+		strconv.FormatInt(id.Index, 10) + "|" +
+		strconv.FormatInt(off, 10) + "|" + strconv.Itoa(length)
+}

@@ -23,6 +23,12 @@ import (
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("comm: transport closed")
 
+// ErrTimeout is returned by Request when the peer's request deadline
+// expires before a response arrives. The request may still execute on
+// the remote node; callers must treat timed-out operations as
+// indeterminate.
+var ErrTimeout = errors.New("comm: request timed out")
+
 // Handler processes one message and returns a response payload.
 // One-way notifications ignore the returned payload.
 type Handler func(payload []byte) ([]byte, error)

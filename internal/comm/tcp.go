@@ -4,9 +4,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // envelope is the wire format: a gob stream of envelopes per connection.
@@ -129,8 +131,9 @@ func (s *TCPServer) Close() error {
 
 // tcpPeer is a client connection with request multiplexing.
 type tcpPeer struct {
-	conn net.Conn
-	enc  *gob.Encoder
+	conn       net.Conn
+	enc        *gob.Encoder
+	reqTimeout time.Duration
 
 	wmu    sync.Mutex
 	nextID atomic.Uint64
@@ -141,16 +144,69 @@ type tcpPeer struct {
 	readErr error
 }
 
-// DialTCP connects to a TCPServer at addr.
+// PeerOptions tunes the failure behavior of a dialed TCP peer. The zero
+// value reproduces the legacy semantics: one connect attempt with the
+// default timeout, requests wait forever.
+type PeerOptions struct {
+	// DialTimeout bounds one TCP connect attempt (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each Request round trip. Zero disables the
+	// deadline (legacy behavior: a dead peer blocks the request until the
+	// connection errors out, which for a hung-but-open socket is forever).
+	RequestTimeout time.Duration
+	// DialAttempts is the total number of connect attempts on transient
+	// dial failure (default 1: no retry).
+	DialAttempts int
+	// DialBackoff is the base delay between connect attempts; each retry
+	// doubles it, plus up to 50% random jitter so a cluster of restarting
+	// nodes does not redial in lockstep (default 50ms).
+	DialBackoff time.Duration
+}
+
+func (o PeerOptions) withDefaults() PeerOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = 1
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// DialTCP connects to a TCPServer at addr with default options (bounded
+// connect, unbounded requests).
 func DialTCP(addr string) (Peer, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPOpts(addr, PeerOptions{})
+}
+
+// DialTCPOpts connects to a TCPServer at addr, retrying transient dial
+// failures with jittered exponential backoff per opts.
+func DialTCPOpts(addr string, opts PeerOptions) (Peer, error) {
+	opts = opts.withDefaults()
+	var conn net.Conn
+	var err error
+	backoff := opts.DialBackoff
+	for attempt := 0; attempt < opts.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)/2+1)))
+			backoff *= 2
+		}
+		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
 	}
 	p := &tcpPeer{
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		pending: make(map[uint64]chan envelope),
+		conn:       conn,
+		enc:        gob.NewEncoder(conn),
+		reqTimeout: opts.RequestTimeout,
+		pending:    make(map[uint64]chan envelope),
 	}
 	go p.readLoop()
 	return p, nil
@@ -202,7 +258,24 @@ func (p *tcpPeer) Request(msgType string, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("comm: send: %w", err)
 	}
 
-	resp, ok := <-ch
+	var resp envelope
+	var ok bool
+	if p.reqTimeout > 0 {
+		timer := time.NewTimer(p.reqTimeout)
+		defer timer.Stop()
+		select {
+		case resp, ok = <-ch:
+		case <-timer.C:
+			// Abandon the request: a late response finds no pending entry
+			// and is dropped by the read loop.
+			p.mu.Lock()
+			delete(p.pending, id)
+			p.mu.Unlock()
+			return nil, fmt.Errorf("comm: %s after %v: %w", msgType, p.reqTimeout, ErrTimeout)
+		}
+	} else {
+		resp, ok = <-ch
+	}
 	if !ok {
 		p.mu.Lock()
 		rerr := p.readErr

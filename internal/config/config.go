@@ -42,6 +42,25 @@ type Config struct {
 	// HTTPListen serves the read-only status API (/healthz, /stats,
 	// /tiers, /metrics, /spans, /debug/pprof) when non-empty.
 	HTTPListen string `json:"http_listen,omitempty"`
+	// PeerListen, when non-empty, turns the daemon into a cluster
+	// member: a second TCP listener carries peer traffic (heartbeats,
+	// hashmap operations, remote segment reads), kept separate from the
+	// client-agent Listen address so operator traffic and fabric traffic
+	// never share a connection.
+	PeerListen string `json:"peer_listen,omitempty"`
+	// Seeds are peer_listen addresses of existing members contacted to
+	// join the cluster (the node also answers joins addressed to it, so
+	// the first member needs no seeds).
+	Seeds []string `json:"seeds,omitempty"`
+	// HeartbeatMS is the membership probe interval (default 500).
+	// SuspectAfterMS and DeadAfterMS are the silence thresholds after
+	// which a member is judged suspect and dead (defaults 2000/5000).
+	HeartbeatMS    int `json:"heartbeat_ms,omitempty"`
+	SuspectAfterMS int `json:"suspect_after_ms,omitempty"`
+	DeadAfterMS    int `json:"dead_after_ms,omitempty"`
+	// PeerRequestTimeoutMS bounds every peer request (default 2000; a
+	// peer that cannot answer within it degrades reads to the PFS).
+	PeerRequestTimeoutMS int `json:"peer_request_timeout_ms,omitempty"`
 	// DisableTelemetry turns off the metric registry (telemetry is on by
 	// default in the daemon; the registry costs one pointer check per
 	// instrumented operation plus the timestamp reads).
@@ -239,7 +258,46 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("config: log_format must be \"text\" or \"json\", got %q", c.LogFormat)
 	}
+	if len(c.Seeds) > 0 && c.PeerListen == "" {
+		return fmt.Errorf("config: seeds require peer_listen (the node must be dialable to join a cluster)")
+	}
+	if c.HeartbeatMS < 0 || c.SuspectAfterMS < 0 || c.DeadAfterMS < 0 || c.PeerRequestTimeoutMS < 0 {
+		return fmt.Errorf("config: heartbeat_ms, suspect_after_ms, dead_after_ms and peer_request_timeout_ms must be >= 0")
+	}
+	hb, sus, dead := c.ClusterTimings()
+	if !(hb < sus && sus < dead) {
+		return fmt.Errorf("config: cluster timings must satisfy heartbeat < suspect_after < dead_after, got %v/%v/%v", hb, sus, dead)
+	}
 	return nil
+}
+
+// Clustered reports whether the daemon joins a multi-node fabric.
+func (c Config) Clustered() bool { return c.PeerListen != "" }
+
+// ClusterTimings returns the heartbeat interval and the suspect/dead
+// silence thresholds with defaults applied (500ms / 2s / 5s).
+func (c Config) ClusterTimings() (hb, suspect, dead time.Duration) {
+	hb = 500 * time.Millisecond
+	if c.HeartbeatMS > 0 {
+		hb = time.Duration(c.HeartbeatMS) * time.Millisecond
+	}
+	suspect = 4 * hb
+	if c.SuspectAfterMS > 0 {
+		suspect = time.Duration(c.SuspectAfterMS) * time.Millisecond
+	}
+	dead = 10 * hb
+	if c.DeadAfterMS > 0 {
+		dead = time.Duration(c.DeadAfterMS) * time.Millisecond
+	}
+	return hb, suspect, dead
+}
+
+// PeerRequestTimeout bounds peer requests (default 2s).
+func (c Config) PeerRequestTimeout() time.Duration {
+	if c.PeerRequestTimeoutMS > 0 {
+		return time.Duration(c.PeerRequestTimeoutMS) * time.Millisecond
+	}
+	return 2 * time.Second
 }
 
 // SlogLevel maps the configured log level onto slog's scale (info when

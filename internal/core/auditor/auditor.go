@@ -55,6 +55,10 @@ type Update struct {
 	// update (0 = untraced); it lets the engine attribute the fetch it
 	// decides on back to the event that caused it.
 	Trace uint64
+	// Origin names the node whose client drives the access (empty =
+	// local). The cluster router uses it to deliver the update to the
+	// placement engine of the node that will read the data.
+	Origin string
 }
 
 // Sink receives score updates and invalidations. Implemented by the
@@ -553,7 +557,7 @@ func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 		if a.cfg.Learner != nil {
 			sc = a.learnAndBlend(rec, ts, sc)
 		}
-		up := Update{ID: id, Score: sc, Size: rec.Size}
+		up := Update{ID: id, Score: sc, Size: rec.Size, Origin: ev.Origin}
 		if id.Index == ids[0].Index {
 			// The event's trace is rooted at its first segment; updates
 			// for the rest of a multi-segment read stay untraced.
@@ -564,7 +568,7 @@ func (a *Auditor) handleRead(ev events.Event, out func(Update)) {
 		// Sequencing readahead: boost the known successor of every
 		// accessed segment so it climbs the hierarchy ahead of its read.
 		if rec.Succ >= 0 && rec.Succ != id.Index && a.cfg.SeqBoost > 0 {
-			a.boost(seg.ID{File: id.File, Index: rec.Succ}, ts, fileSize, out)
+			a.boost(seg.ID{File: id.File, Index: rec.Succ}, ts, fileSize, ev.Origin, out)
 		}
 	}
 
@@ -597,10 +601,12 @@ func (a *Auditor) learnLink(file string, prev, cur int64) {
 	a.stats.Apply(statKey(seg.ID{File: file, Index: cur}), opAddRef, nil) //nolint:errcheck
 }
 
-// boost applies the anticipatory sequencing weight to id.
+// boost applies the anticipatory sequencing weight to id. The update
+// inherits the triggering access's origin: the successor should be
+// prefetched where the reader is.
 //
 //hfetch:hotpath
-func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64, out func(Update)) {
+func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64, origin string, out func(Update)) {
 	arg := make([]byte, 16)
 	binary.BigEndian.PutUint64(arg[0:8], uint64(ts.UnixNano()))
 	binary.BigEndian.PutUint64(arg[8:16], math.Float64bits(a.cfg.SeqBoost))
@@ -616,7 +622,7 @@ func (a *Auditor) boost(id seg.ID, ts time.Time, fileSize int64, out func(Update
 			size = a.cfg.Segmenter.Size()
 		}
 	}
-	out(Update{ID: id, Score: a.model.Score(&rec.Stats, ts), Size: size})
+	out(Update{ID: id, Score: a.model.Score(&rec.Stats, ts), Size: size, Origin: origin})
 }
 
 // learnAndBlend feeds the learner a positive example for the segment's

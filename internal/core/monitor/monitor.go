@@ -175,6 +175,18 @@ func (m *Monitor) Backlog() int {
 	return m.queue.Len()
 }
 
+// Quiescent reports whether every event accepted so far has been fully
+// handled: audited and its score update delivered to the engine, not
+// merely popped off the ring. Backlog can read zero while a daemon
+// still holds a popped batch; the consumed counter only advances after
+// the handler returns, which closes that window. Posted is read before
+// consumed so a true result covers at least the events posted up to
+// the call.
+func (m *Monitor) Quiescent() bool {
+	posted, _ := m.QueueStats()
+	return m.consumed.Load() >= posted
+}
+
 // QueueStats returns the cumulative posted and dropped counts.
 func (m *Monitor) QueueStats() (posted, dropped int64) {
 	if m.sharded != nil {

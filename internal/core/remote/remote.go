@@ -473,3 +473,48 @@ func (c *Client) CreateFile(name string, size int64) error {
 	_, err = c.peer.Request(MsgCreate, req)
 	return err
 }
+
+// MsgNodes is the cluster membership query (hfetchctl nodes).
+const MsgNodes = "ctl.nodes"
+
+// NodeInfo is one member's row in the ctl.nodes reply. The package
+// deliberately does not import internal/cluster: the daemon glues its
+// cluster view into this wire struct, and non-clustered daemons answer
+// with their single self row.
+type NodeInfo struct {
+	Name string
+	Addr string
+	// State is "alive", "suspect" or "dead" ("self" fields report zero
+	// heartbeat age).
+	State string
+	// HeartbeatAgeNanos is how long ago the daemon heard the member.
+	HeartbeatAgeNanos int64
+	// Keys is the member's self-reported hashmap key count.
+	Keys int64
+	// FetchP99Nanos is the daemon's observed p99 cross-node fetch
+	// latency to the member (0 = no fetches yet).
+	FetchP99Nanos int64
+}
+
+type nodesReply struct{ Nodes []NodeInfo }
+
+// ServeNodes registers the membership query; fn snapshots the daemon's
+// current view (it must be safe for concurrent use).
+func ServeNodes(mux *comm.Mux, fn func() []NodeInfo) {
+	mux.Register(MsgNodes, func([]byte) ([]byte, error) {
+		return enc(nodesReply{Nodes: fn()})
+	})
+}
+
+// Nodes queries the daemon's cluster membership view.
+func (c *Client) Nodes() ([]NodeInfo, error) {
+	raw, err := c.peer.Request(MsgNodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out nodesReply
+	if err := dec(raw, &out); err != nil {
+		return nil, err
+	}
+	return out.Nodes, nil
+}

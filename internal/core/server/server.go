@@ -95,6 +95,11 @@ type Server struct {
 	dialer Dialer
 	peers  map[string]comm.Peer
 
+	// remoteReader, when set, replaces the built-in peer read path with a
+	// cluster-aware one (single-flight, timeout/backoff, suspect
+	// avoidance); see SetRemoteReader.
+	remoteReader atomic.Pointer[remoteReaderBox]
+
 	remoteReads  atomic.Int64
 	remoteServes atomic.Int64
 
@@ -122,6 +127,26 @@ type Server struct {
 // Dialer reaches peer nodes for remote tier reads.
 type Dialer interface {
 	Dial(node string) comm.Peer
+}
+
+// RemoteReader serves a segment read from a peer node's tier. ok is
+// false when the caller must fall back to the PFS (peer dead, suspect,
+// timed out, or the mapping is stale). Implemented by cluster.Fetcher.
+type RemoteReader interface {
+	ReadRemote(node, tier string, id seg.ID, off int64, p []byte) (int, bool)
+}
+
+type remoteReaderBox struct{ r RemoteReader }
+
+// SetRemoteReader installs (or, with nil, removes) a cluster-aware
+// remote read path; when unset the server uses its built-in direct peer
+// request.
+func (s *Server) SetRemoteReader(r RemoteReader) {
+	if r == nil {
+		s.remoteReader.Store(nil)
+		return
+	}
+	s.remoteReader.Store(&remoteReaderBox{r: r})
 }
 
 // New builds a server over the shared PFS, this node's tier hierarchy,
@@ -231,6 +256,36 @@ func NewPersistentMaps(node, walPath string) (stats, maps *dhm.Map, wal *dhm.WAL
 	return stats, maps, wal, nil
 }
 
+// NewClusterMaps returns the stats and mapping hashmaps for a cluster
+// member: both register their operation handlers on the peer-facing mux
+// and reach remote owners through dialer. Membership starts as just
+// this node — the cluster fabric grows it via Rebalance on view
+// changes. When walPath is non-empty the maps are WAL-backed and
+// segment statistics are replayed before rejoining (mappings are not:
+// they point at volatile tier payloads that did not survive the
+// restart).
+func NewClusterMaps(node, walPath string, dialer dhm.Dialer, mux *comm.Mux) (stats, maps *dhm.Map, wal *dhm.WAL, err error) {
+	var state map[string]map[string]any
+	if walPath != "" {
+		var rerr error
+		state, rerr = dhm.Replay(walPath)
+		wal, err = dhm.OpenWAL(walPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if rerr != nil {
+			state = nil
+		}
+	}
+	self := []string{node}
+	stats = dhm.New(dhm.Config{Name: "hfetch-stats", Self: node, Nodes: self, Dialer: dialer, WAL: wal}, mux)
+	maps = dhm.New(dhm.Config{Name: "hfetch-maps", Self: node, Nodes: self, Dialer: dialer, WAL: wal}, mux)
+	if state != nil {
+		stats.Restore(state)
+	}
+	return stats, maps, wal, nil
+}
+
 // Start launches the monitor daemons, the placement engine, and (when
 // configured) the statistics janitor.
 func (s *Server) Start() {
@@ -288,7 +343,10 @@ func (s *Server) Stop() {
 // need determinism between phases.
 func (s *Server) Flush() {
 	deadline := time.Now().Add(5 * time.Second)
-	for s.mon.Backlog() > 0 && time.Now().Before(deadline) {
+	// Quiescent, not Backlog: a daemon that popped a batch but has not
+	// finished auditing it would otherwise slip past the barrier and
+	// deliver its score updates after the placement pass below.
+	for !s.mon.Quiescent() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	s.eng.Flush()
@@ -314,11 +372,9 @@ func (s *Server) EndEpoch(file string) {
 	last := s.registry.RemoveWatch(file)
 	if last {
 		deadline := time.Now().Add(2 * time.Second)
-		for s.mon.Backlog() > 0 && time.Now().Before(deadline) {
+		for !s.mon.Quiescent() && time.Now().Before(deadline) {
 			time.Sleep(200 * time.Microsecond)
 		}
-		// Give in-flight daemon batches a beat to land.
-		time.Sleep(time.Millisecond)
 	}
 	s.aud.EndEpoch(file)
 }
@@ -436,6 +492,8 @@ func (s *Server) serve(id seg.ID, off int64, p []byte) (n int, tier string, ok b
 	}
 	if node == "" || node == s.cfg.Node || s.shared[tier] {
 		n, ok = s.ReadFromTier(tier, id, off, p)
+	} else if box := s.remoteReader.Load(); box != nil {
+		n, ok = box.r.ReadRemote(node, tier, id, off, p)
 	} else {
 		n, ok = s.readRemote(node, tier, id, off, p)
 	}
@@ -511,9 +569,21 @@ func (s *Server) peer(node string) comm.Peer {
 }
 
 func (s *Server) readRemote(node, tier string, id seg.ID, off int64, p []byte) (int, bool) {
+	n, ok, _ := s.ReadRemoteDirect(node, tier, id, off, p)
+	return n, ok
+}
+
+// ReadRemoteDirect issues one peer read request with no retry or
+// single-flight policy. The three results distinguish the two failure
+// modes a policy layer treats differently: err != nil is a transport
+// failure (no peer, dial/request error — the peer should be penalized),
+// while (ok=false, err=nil) is a clean "not resident" answer from a
+// healthy peer (stale mapping — fall back to the PFS, peer is fine).
+// cluster.Fetcher builds its backoff and suspect logic on this split.
+func (s *Server) ReadRemoteDirect(node, tier string, id seg.ID, off int64, p []byte) (int, bool, error) {
 	peer := s.peer(node)
 	if peer == nil {
-		return 0, false
+		return 0, false, fmt.Errorf("server: no peer for node %q", node)
 	}
 	s.remoteReads.Add(1)
 	var buf bytes.Buffer
@@ -522,13 +592,28 @@ func (s *Server) readRemote(node, tier string, id seg.ID, off int64, p []byte) (
 	})
 	raw, err := peer.Request(msgRemoteRead, buf.Bytes())
 	if err != nil {
-		return 0, false
+		// Drop the cached peer so the next attempt redials through the
+		// dialer (which may resolve a restarted node's new transport).
+		s.dropPeer(node, peer)
+		return 0, false, err
 	}
 	var resp remoteReadResp
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&resp); err != nil || !resp.OK {
-		return 0, false
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&resp); err != nil {
+		return 0, false, err
 	}
-	return copy(p, resp.Data), true
+	if !resp.OK {
+		return 0, false, nil
+	}
+	return copy(p, resp.Data), true, nil
+}
+
+func (s *Server) dropPeer(node string, p comm.Peer) {
+	s.peerMu.Lock()
+	if s.peers[node] == p {
+		delete(s.peers, node)
+	}
+	s.peerMu.Unlock()
+	p.Close()
 }
 
 // RemoteStats reports (requests issued to peers, requests served for
