@@ -9,7 +9,7 @@
 //
 //	hfetchbench [-short] [-out file] [-clients 320,640,...]
 //	            [-min-speedup 1.0] [-min-decision-speedup 1.0]
-//	            [-max-cluster-hit-drop 0.05]
+//	            [-max-cluster-hit-drop 0.05] [-min-gateway-hit 0.2]
 //	            [-trace-out trace.json] [-quiet]
 //	hfetchbench -validate BENCH_abc1234.json
 //	hfetchbench -validate-trace trace.json
@@ -22,7 +22,10 @@
 // inline execution. -max-cluster-hit-drop N fails when any multi-node
 // fabric scale's aggregate hit ratio falls more than N below the
 // single-node baseline (cross-node serves should keep the fabric at
-// parity). -validate checks an existing report against the schema and
+// parity). -min-gateway-hit N fails when the HTTP gateway scenario's
+// stream-detect-on tier hit ratio falls below N (sequential readers
+// must keep landing on prefetched segments). -validate checks an
+// existing report against the schema and
 // exits. -trace-out exports the read scenario's lifecycle traces as
 // Chrome trace_event JSON (load in Perfetto), validated on write;
 // -validate-trace checks an existing trace file and exits.
@@ -50,6 +53,7 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 0, "fail when any sharded/legacy speedup is below this (0 disables)")
 	minDecision := flag.Float64("min-decision-speedup", 0, "fail when the movement scenario's sync/async decision-pass p99 ratio is below this (0 disables)")
 	maxHitDrop := flag.Float64("max-cluster-hit-drop", -1, "fail when any multi-node fabric scale's aggregate hit ratio falls more than this below the single-node baseline (negative disables)")
+	minGatewayHit := flag.Float64("min-gateway-hit", -1, "fail when the gateway scenario's stream-detect-on hit ratio is below this (negative disables)")
 	validate := flag.String("validate", "", "validate an existing report file and exit")
 	traceOut := flag.String("trace-out", "", "export the read scenario's lifecycle traces as Perfetto-loadable JSON to this file")
 	validateTrace := flag.String("validate-trace", "", "validate an existing trace JSON file and exit")
@@ -159,6 +163,15 @@ func main() {
 			m.Sync.Decide.P99us, m.Async.Decide.P99us, m.DecisionSpeedup,
 			m.Sync.HitRatio, m.Async.HitRatio)
 	}
+	if rep.Gateway != nil {
+		g := rep.Gateway
+		for _, v := range []bench.GatewayVariant{g.On, g.Off} {
+			fmt.Printf("  gateway detect=%-5v: %6.0f req/s  ttfb p50 %.0fµs p99 %.0fµs  hit %.3f  timely %d\n",
+				v.StreamDetect, v.ReqPerSec, v.TTFBP50us, v.TTFBP99us, v.HitRatio, v.Prefetch.Timely)
+		}
+		fmt.Printf("  gateway timely delta on-off %+d, shed %d (retry-after %v)\n",
+			g.TimelyDelta, g.ShedRequests, g.ShedRetryAfter)
+	}
 	if rep.Cluster != nil {
 		c := rep.Cluster
 		scales := c.Scales
@@ -196,6 +209,15 @@ func main() {
 		if drop := rep.Cluster.BaselineHitRatio - min; drop > *maxHitDrop {
 			fatalf("cluster fabric regressed: aggregate hit ratio dropped %.3f below the single-node baseline (max allowed %.3f)",
 				drop, *maxHitDrop)
+		}
+	}
+	if *minGatewayHit >= 0 {
+		if rep.Gateway == nil {
+			fatalf("-min-gateway-hit set but the report has no gateway scenario")
+		}
+		if hit := rep.GatewayHitRatio(); hit < *minGatewayHit {
+			fatalf("gateway regressed: stream-detect-on hit ratio %.3f < required %.3f",
+				hit, *minGatewayHit)
 		}
 	}
 }

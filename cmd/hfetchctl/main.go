@@ -180,11 +180,15 @@ func main() {
 }
 
 // runTop renders a refreshing terminal status view: hit ratio, tier
-// occupancy, mover queue depths, and the prefetch-effectiveness ledger.
+// occupancy, mover queue depths, the HTTP gateway's request rate and
+// QoS counters (when the daemon runs one), and the
+// prefetch-effectiveness ledger.
 func runTop(c *remote.Client, addr string, interval time.Duration, count int) {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
+	var prevGwReqs int64
+	var prevAt time.Time
 	for i := 0; count == 0 || i < count; i++ {
 		if i > 0 {
 			time.Sleep(interval)
@@ -226,6 +230,34 @@ func runTop(c *remote.Client, addr string, interval time.Duration, count int) {
 		}
 		fmt.Printf("mover inflight %d\n\n", metricSum(snap, "hfetch_mover_inflight"))
 
+		// Gateway section: rendered only when the daemon serves the
+		// HTTP range-read gateway (the family is registered at New).
+		// Rate is the counter delta across refreshes, so the first
+		// frame shows "-".
+		if hasFamily(snap, "hfetch_gateway_requests_total") {
+			gwReqs := metricSum(snap, "hfetch_gateway_requests_total")
+			now := time.Now()
+			rate := "-"
+			if i > 0 && now.After(prevAt) {
+				rate = fmt.Sprintf("%.0f/s", float64(gwReqs-prevGwReqs)/now.Sub(prevAt).Seconds())
+			}
+			prevGwReqs, prevAt = gwReqs, now
+			fmt.Printf("gateway    req %-10d rate %-9s bytes %-12d inflight %d\n",
+				gwReqs, rate, metricSum(snap, "hfetch_gateway_bytes_total"),
+				metricSum(snap, "hfetch_gateway_inflight"))
+			fmt.Printf("           shed %-8d degraded %-8d aborted %-8d streams %-6d hints %d\n",
+				metricSum(snap, "hfetch_gateway_shed_total"),
+				metricSum(snap, "hfetch_gateway_degraded_total"),
+				metricSum(snap, "hfetch_gateway_aborted_total"),
+				metricSum(snap, "hfetch_gateway_streams_detected_total"),
+				metricSum(snap, "hfetch_gateway_hints_total"))
+			if h := metricHist(snap, "hfetch_gateway_ttfb_nanos"); h != nil && h.Count > 0 {
+				fmt.Printf("           ttfb p50 %v p99 %v max %v\n",
+					dur(h.Quantile(0.5)), dur(h.Quantile(0.99)), dur(h.Max))
+			}
+			fmt.Println()
+		}
+
 		timely := metricSum(snap, "hfetch_prefetch_timely_total")
 		late := metricSum(snap, "hfetch_prefetch_late_total")
 		wasted := metricSum(snap, "hfetch_prefetch_wasted_total")
@@ -257,6 +289,17 @@ func metricSum(snap telemetry.Snapshot, name string) int64 {
 		}
 	}
 	return v
+}
+
+// hasFamily reports whether any series of the family exists in the
+// snapshot (distinguishing "subsystem absent" from "counted zero").
+func hasFamily(snap telemetry.Snapshot, name string) bool {
+	for _, m := range snap.Metrics {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // metricByLabel maps a family's rendered label string to its value.
@@ -356,7 +399,7 @@ commands:
   metrics [raw]             show telemetry (raw = Prometheus text)
   spans                     show sampled pipeline spans
   trace [-csv] [-o file]    export lifecycle traces (Perfetto JSON; -csv = access log)
-  top [-interval d] [-n k]  live status view (hit ratio, tiers, mover, effectiveness)
+  top [-interval d] [-n k]  live status view (hit ratio, tiers, mover, gateway, effectiveness)
   create <name> <size>      register a synthetic file
   read <name> <off> <len>   read through the prefetcher`)
 	os.Exit(2)

@@ -37,6 +37,7 @@ import (
 	"hfetch/internal/core/server"
 	"hfetch/internal/devsim"
 	"hfetch/internal/dhm"
+	"hfetch/internal/gateway"
 	"hfetch/internal/pfs"
 	"hfetch/internal/telemetry"
 	"hfetch/internal/tiers"
@@ -45,6 +46,7 @@ import (
 func main() {
 	cfgPath := flag.String("config", "", "path to the JSON configuration (defaults built in)")
 	listen := flag.String("listen", "", "override the listen address")
+	httpListen := flag.String("http-listen", "", "override the HTTP listen address (range-read gateway + observability API)")
 	node := flag.String("node", "", "override the node name")
 	peerListen := flag.String("peer-listen", "", "peer-facing listen address; non-empty joins/forms a cluster")
 	seeds := flag.String("seeds", "", "comma-separated peer_listen addresses of existing cluster members")
@@ -53,6 +55,8 @@ func main() {
 	moverQueueDepth := flag.Int("mover-queue-depth", 0, "override the per-tier mover queue bound (0 = config/default 256)")
 	fetchCoalesce := flag.Bool("fetch-coalesce", true, "merge adjacent queued PFS fetches into one origin read")
 	fetchWaitMS := flag.Float64("fetch-wait-ms", -1, "bounded read wait for an in-flight fetch in ms (-1 = config/default 2)")
+	streamDetect := flag.Bool("stream-detect", true, "detect sequential gateway streams and post readahead hints")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant gateway admission rate in req/s (0 = unlimited)")
 	logLevel := flag.String("log-level", "", "minimum log level: debug, info, warn, error (default config/info)")
 	logFormat := flag.String("log-format", "", "log encoding: text or json (default config/text)")
 	flag.Parse()
@@ -79,6 +83,9 @@ func main() {
 	}
 	if *listen != "" {
 		cfg.Listen = *listen
+	}
+	if *httpListen != "" {
+		cfg.HTTPListen = *httpListen
 	}
 	if *node != "" {
 		cfg.Node = *node
@@ -107,6 +114,10 @@ func main() {
 			cfg.FetchCoalesce = *fetchCoalesce
 		case "fetch-wait-ms":
 			cfg.FetchWaitMS = *fetchWaitMS
+		case "stream-detect":
+			cfg.StreamDetect = *streamDetect
+		case "tenant-rps":
+			cfg.TenantRPS = *tenantRPS
 		case "log-level":
 			cfg.LogLevel = *logLevel
 		case "log-format":
@@ -164,18 +175,25 @@ func main() {
 	defer stop()
 
 	var httpSrv *http.Server
+	var gw *gateway.Gateway
 	httpErr := make(chan error, 1)
 	if cfg.HTTPListen != "" {
+		gw = gateway.New(d.srv, gatewayConfig(cfg, d.srv))
+		root := http.NewServeMux()
+		root.Handle("/files/", gw)
+		root.Handle("/", remote.NewHTTPHandler(d.srv))
 		httpSrv = &http.Server{
 			Addr:              cfg.HTTPListen,
-			Handler:           remote.NewHTTPHandler(d.srv),
+			Handler:           root,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			logger.Info("serving observability API",
+			logger.Info("serving HTTP API",
 				"component", "http",
 				"addr", cfg.HTTPListen,
-				"endpoints", "/metrics /healthz /stats /tiers /spans /debug/trace /debug/pprof")
+				"endpoints", "/files/{path} /metrics /healthz /stats /tiers /spans /debug/trace /debug/pprof",
+				"stream_detect", cfg.StreamDetect,
+				"tenant_rps", cfg.TenantRPS)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				httpErr <- err
 			}
@@ -186,7 +204,7 @@ func main() {
 	case <-ctx.Done():
 		logger.Info("shutting down", "component", "daemon")
 	case err := <-httpErr:
-		logger.Error("observability API failed", "component", "http", "err", err)
+		logger.Error("HTTP API failed", "component", "http", "err", err)
 	}
 	if httpSrv != nil {
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -194,6 +212,24 @@ func main() {
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			logger.Warn("http shutdown", "component", "http", "err", err)
 		}
+	}
+	if gw != nil {
+		gw.Close()
+	}
+}
+
+// gatewayConfig maps the daemon configuration onto the gateway's knobs.
+func gatewayConfig(cfg config.Config, srv *server.Server) gateway.Config {
+	return gateway.Config{
+		MaxInflight:     cfg.GatewayMaxInflight,
+		ClientInflight:  cfg.GatewayClientInflight,
+		TenantRPS:       cfg.TenantRPS,
+		TenantBurst:     cfg.TenantBurst,
+		AdmitWait:       cfg.GatewayWait(),
+		StreamDetect:    cfg.StreamDetect,
+		StreamWindow:    cfg.StreamDetectWindow,
+		StreamLookahead: cfg.StreamLookahead,
+		Telemetry:       srv.Telemetry(),
 	}
 }
 

@@ -2,6 +2,8 @@ package hfetch
 
 import (
 	"fmt"
+	"net/http"
+	"sync"
 	"time"
 
 	"hfetch/internal/cluster"
@@ -12,6 +14,7 @@ import (
 	"hfetch/internal/core/server"
 	"hfetch/internal/devsim"
 	"hfetch/internal/dhm"
+	"hfetch/internal/gateway"
 	"hfetch/internal/metrics"
 	"hfetch/internal/pfs"
 	"hfetch/internal/telemetry"
@@ -135,6 +138,11 @@ type Config struct {
 	// telemetry.DefaultTimeSampleEvery; 1 times everything). Counters are
 	// never sampled.
 	TimeSampleEvery int
+	// Gateway tunes the per-node HTTP range-read gateway obtained from
+	// Node.GatewayHandler. The zero value uses the gateway's defaults
+	// (no tenant rate limit, stream detection off — set StreamDetect to
+	// let external sequential readers drive prefetching for themselves).
+	Gateway GatewaySpec
 	// Tiers lists the hierarchy fastest-first. Defaults to
 	// DefaultTiers() when empty.
 	Tiers []TierSpec
@@ -157,6 +165,34 @@ type Config struct {
 	// and smoke tests exercise true serialization and socket costs).
 	// Only meaningful with ClusterFabric.
 	ClusterTransport string
+}
+
+// GatewaySpec tunes a node's HTTP range-read gateway (the serving
+// surface cmd/hfetchd exposes as GET /files/{path}; see GATEWAY.md).
+// Zero fields select the gateway's built-in defaults.
+type GatewaySpec struct {
+	// MaxInflight caps concurrently served requests (default 256).
+	MaxInflight int
+	// ClientInflight caps concurrent requests per client IP (default 64).
+	ClientInflight int
+	// TenantRPS is the per-tenant token-bucket admission rate in
+	// requests per second; 0 disables tenant rate limiting.
+	TenantRPS float64
+	// TenantBurst is the bucket depth (default 2×TenantRPS).
+	TenantBurst float64
+	// AdmitWait bounds the over-rate pacing wait before a request is
+	// shed with 429 + Retry-After (default 10ms).
+	AdmitWait time.Duration
+	// StreamDetect turns detected sequential client streams into
+	// readahead hint events — the paper's sequencing signal from
+	// external readers.
+	StreamDetect bool
+	// StreamWindow is the sequentiality byte tolerance (default: one
+	// segment).
+	StreamWindow int64
+	// StreamLookahead is how many segments ahead a stream hints
+	// (default 4).
+	StreamLookahead int
 }
 
 // Reactiveness presets for Config.EngineUpdateThreshold (paper Fig 3b).
@@ -210,6 +246,10 @@ type Node struct {
 	srv  *server.Server
 	cn   *cluster.Node   // fabric membership; nil unless ClusterFabric
 	tcp  *comm.TCPServer // peer listener; nil unless ClusterTransport "tcp"
+
+	gwSpec GatewaySpec
+	gwOnce sync.Once
+	gw     *gateway.Gateway
 }
 
 // NewCluster builds and starts a cluster.
@@ -395,7 +435,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if cn != nil {
 			cn.Start()
 		}
-		node := &Node{name: names[i], srv: srv, cn: cn}
+		node := &Node{name: names[i], srv: srv, cn: cn, gwSpec: cfg.Gateway}
 		if useTCP {
 			node.tcp = tcpSrvs[i]
 		}
@@ -418,6 +458,9 @@ func (d inprocDialer) Dial(node string) comm.Peer { return d.net.Dial(node) }
 // Stop shuts down every node.
 func (c *Cluster) Stop() {
 	for _, n := range c.nodes {
+		if n.gw != nil {
+			n.gw.Close()
+		}
 		if n.tcp != nil {
 			n.tcp.Close()
 		}
@@ -502,6 +545,27 @@ func (n *Node) Server() *server.Server { return n.srv }
 
 // Flush synchronously drains pending events and runs a placement pass.
 func (n *Node) Flush() { n.srv.Flush() }
+
+// GatewayHandler returns this node's HTTP range-read gateway, building
+// it on first call from Config.Gateway (mount it on any http.Server or
+// httptest.Server; see GATEWAY.md for the endpoint semantics). The
+// gateway is closed with the cluster.
+func (n *Node) GatewayHandler() http.Handler {
+	n.gwOnce.Do(func() {
+		n.gw = gateway.New(n.srv, gateway.Config{
+			MaxInflight:     n.gwSpec.MaxInflight,
+			ClientInflight:  n.gwSpec.ClientInflight,
+			TenantRPS:       n.gwSpec.TenantRPS,
+			TenantBurst:     n.gwSpec.TenantBurst,
+			AdmitWait:       n.gwSpec.AdmitWait,
+			StreamDetect:    n.gwSpec.StreamDetect,
+			StreamWindow:    n.gwSpec.StreamWindow,
+			StreamLookahead: n.gwSpec.StreamLookahead,
+			Telemetry:       n.srv.Telemetry(),
+		})
+	})
+	return n.gw
+}
 
 // NewClient creates a client (application process) attached to this
 // node's server. Clients sharing one application should share stats via

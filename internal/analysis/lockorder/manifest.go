@@ -44,12 +44,14 @@ type Manifest struct {
 
 // Default returns the manifest for this repo's chain:
 //
-//	ring → (released) → epoch → (released) → membership mu →
-//	(released) → dhm → (released) → cluster fetch mu → (released) →
-//	engine runMu → engine mu → mover mu → tier store mutex
+//	gateway mu → (released) → ring → (released) → epoch → (released) →
+//	membership mu → (released) → dhm → (released) → cluster fetch mu →
+//	(released) → engine runMu → engine mu → mover mu → tier store mutex
 func Default() Manifest {
 	return Manifest{
 		Classes: []Class{
+			{Name: "gateway", ReleasedBefore: true,
+				Fields: []FieldSel{{"hfetch/internal/gateway.Gateway", "mu"}}},
 			{Name: "ring", ReleasedBefore: true,
 				Fields: []FieldSel{{"hfetch/internal/events.Queue", "mu"}}},
 			{Name: "epoch", ReleasedBefore: true,
@@ -94,6 +96,7 @@ type ChainEntry struct {
 
 // chainPhrases maps the prose phrase in the chain to a class name.
 var chainPhrases = map[string]string{
+	"gateway mu":       "gateway",
 	"ring mutex":       "ring",
 	"epoch stripe":     "epoch",
 	"membership mu":    "membership",

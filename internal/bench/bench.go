@@ -217,6 +217,19 @@ func Run(o Options, logf func(format string, args ...any)) (Report, error) {
 			s.RemoteFetches, s.RemoteServes, s.FetchP99us, s.Seconds)
 	}
 	rep.Cluster = &clusterRes
+
+	gw, err := runGateway(o)
+	if err != nil {
+		return rep, fmt.Errorf("gateway: %w", err)
+	}
+	for _, v := range []GatewayVariant{gw.On, gw.Off} {
+		logf("http   detect=%-5v: %6.0f req/s  ttfb p50 %7.1fµs p99 %8.1fµs  hit %.3f  %d×2xx %d×429 %d×5xx  timely %d",
+			v.StreamDetect, v.ReqPerSec, v.TTFBP50us, v.TTFBP99us, v.HitRatio,
+			v.Status2xx, v.Status429, v.Status5xx, v.Prefetch.Timely)
+	}
+	logf("http   stream detection bought %+d timely prefetches; QoS shed %d over-rate requests (Retry-After %v)",
+		gw.TimelyDelta, gw.ShedRequests, gw.ShedRetryAfter)
+	rep.Gateway = &gw
 	return rep, nil
 }
 

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+
+	"hfetch"
+	"hfetch/internal/telemetry"
+)
+
+// runGateway measures the HTTP range-read gateway end to end: an
+// in-process client herd issues mixed sequential/random range reads
+// against a live gateway, once with stream detection on and once off
+// over the identical schedule, so the report carries the
+// prefetch-effectiveness delta the sequencing signal buys. A third,
+// rate-limited subtest verifies the QoS layer sheds with 429 +
+// Retry-After instead of queuing unboundedly.
+func runGateway(o Options) (GatewayResult, error) {
+	files, segs, passes, workers := 8, int64(24), 3, 8
+	if o.Short {
+		files, segs, passes, workers = 4, 12, 2, 4
+	}
+	var res GatewayResult
+	for _, detect := range []bool{true, false} {
+		v, err := runGatewayVariant(o, detect, files, segs, passes, workers)
+		if err != nil {
+			return res, err
+		}
+		if detect {
+			res.On = v
+		} else {
+			res.Off = v
+		}
+	}
+	res.TimelyDelta = res.On.Prefetch.Timely - res.Off.Prefetch.Timely
+	shed, retryAfter, err := runGatewayShed(o)
+	if err != nil {
+		return res, err
+	}
+	res.ShedRequests = shed
+	res.ShedRetryAfter = retryAfter
+	return res, nil
+}
+
+func gatewayBenchConfig(o Options, detect bool, need int64) hfetch.Config {
+	cfg := drainConfig(o.Shards, 1, 0)
+	for i := range cfg.Tiers {
+		cfg.Tiers[i].Capacity = need << uint(i)
+	}
+	cfg.Gateway = hfetch.GatewaySpec{
+		StreamDetect:    detect,
+		StreamLookahead: 8,
+	}
+	return cfg
+}
+
+func runGatewayVariant(o Options, detect bool, files int, segs int64, passes, workers int) (GatewayVariant, error) {
+	v := GatewayVariant{StreamDetect: detect}
+	need := int64(files) * segs * benchSegSize
+	cluster, err := hfetch.NewCluster(gatewayBenchConfig(o, detect, need))
+	if err != nil {
+		return v, err
+	}
+	defer cluster.Stop()
+	node := cluster.Node(0)
+
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench/gw-%02d.dat", i)
+		if err := cluster.CreateFile(names[i], segs*benchSegSize); err != nil {
+			return v, err
+		}
+	}
+	ts := httptest.NewServer(node.GatewayHandler())
+	defer ts.Close()
+
+	ttfb := &telemetry.Histogram{}
+	var mu sync.Mutex
+	var st statusCounts
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Three in four workers stream sequentially (the shape the
+			// gateway's detector exists for); the rest read randomly.
+			sequential := w%4 != 3
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			client := &http.Client{}
+			var local statusCounts
+			defer func() {
+				mu.Lock()
+				st.merge(local)
+				mu.Unlock()
+			}()
+			name := names[w%files]
+			for p := 0; p < passes; p++ {
+				for s := int64(0); s < segs; s++ {
+					idx := s
+					if !sequential {
+						idx = rng.Int63n(segs)
+					}
+					off := idx * benchSegSize
+					if err := getRange(client, ts.URL, name, off, benchSegSize, "", ttfb, &local); err != nil {
+						errCh <- err
+						return
+					}
+					if p == 0 && sequential && s == 3 {
+						// The detector has seen enough of the stream to post
+						// its lookahead hints; give the pipeline one boundary
+						// to land them ahead of the reader. With detection
+						// off the same flush only places segments already
+						// read (redundant, not timely), so this is where the
+						// on/off timely delta comes from.
+						node.Flush()
+					}
+				}
+				if p == 0 && sequential {
+					// And one pass boundary for the tail, same as the reads
+					// scenario.
+					node.Flush()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return v, err
+		}
+	}
+	elapsed := time.Since(start)
+	node.Flush()
+
+	v.Requests = st.total()
+	v.Status2xx = st.s2xx
+	v.Status429 = st.s429
+	v.Status5xx = st.s5xx
+	v.Bytes = st.bytes
+	v.Seconds = elapsed.Seconds()
+	v.ReqPerSec = float64(v.Requests) / elapsed.Seconds()
+	hist := ttfb.Snapshot()
+	v.TTFBP50us = float64(hist.Quantile(0.50)) / 1e3
+	v.TTFBP99us = float64(hist.Quantile(0.99)) / 1e3
+	ios := node.Server().IOStats()
+	if hits, misses := ios.Hits(), ios.Misses(); hits+misses > 0 {
+		v.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	v.Prefetch = effectiveness(node.Telemetry())
+	return v, nil
+}
+
+// runGatewayShed verifies QoS shedding: one tenant hammers a gateway
+// whose bucket admits ~10 requests, and the rest must come back 429
+// with a Retry-After hint — never a hang, never a 5xx.
+func runGatewayShed(o Options) (shed int64, retryAfter bool, err error) {
+	cfg := gatewayBenchConfig(o, false, 4*benchSegSize)
+	cfg.Gateway.TenantRPS = 10
+	cfg.Gateway.TenantBurst = 5
+	cfg.Gateway.AdmitWait = time.Millisecond
+	cluster, err := hfetch.NewCluster(cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	defer cluster.Stop()
+	if err := cluster.CreateFile("bench/gw-shed.dat", 4*benchSegSize); err != nil {
+		return 0, false, err
+	}
+	ts := httptest.NewServer(cluster.Node(0).GatewayHandler())
+	defer ts.Close()
+
+	client := &http.Client{}
+	requests := 100
+	if o.Short {
+		requests = 50
+	}
+	for i := 0; i < requests; i++ {
+		req, rerr := http.NewRequest("GET", ts.URL+"/files/bench/gw-shed.dat", nil)
+		if rerr != nil {
+			return shed, retryAfter, rerr
+		}
+		req.Header.Set("Range", "bytes=0-1023")
+		req.Header.Set("X-Tenant", "bench")
+		resp, rerr := client.Do(req)
+		if rerr != nil {
+			return shed, retryAfter, rerr
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed++
+			if ra, _ := strconv.Atoi(resp.Header.Get("Retry-After")); ra >= 1 {
+				retryAfter = true
+			}
+		} else if resp.StatusCode >= 500 {
+			return shed, retryAfter, fmt.Errorf("shed subtest: unexpected %d", resp.StatusCode)
+		}
+	}
+	if shed == 0 {
+		return 0, false, fmt.Errorf("shed subtest: %d over-rate requests, none shed", requests)
+	}
+	return shed, retryAfter, nil
+}
+
+// statusCounts tallies one load run's responses.
+type statusCounts struct {
+	s2xx, s429, s5xx, other int64
+	bytes                   int64
+}
+
+func (s *statusCounts) merge(o statusCounts) {
+	s.s2xx += o.s2xx
+	s.s429 += o.s429
+	s.s5xx += o.s5xx
+	s.other += o.other
+	s.bytes += o.bytes
+}
+
+func (s *statusCounts) total() int64 { return s.s2xx + s.s429 + s.s5xx + s.other }
+
+// getRange issues one ranged GET, recording client-observed TTFB (first
+// body byte) and the response class.
+func getRange(client *http.Client, base, name string, off, ln int64, tenant string, ttfb *telemetry.Histogram, st *statusCounts) error {
+	req, err := http.NewRequest("GET", base+"/files/"+name, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Range",
+		"bytes="+strconv.FormatInt(off, 10)+"-"+strconv.FormatInt(off+ln-1, 10))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var first [1]byte
+	if n, _ := resp.Body.Read(first[:]); n > 0 {
+		ttfb.Observe(int64(time.Since(start)))
+		st.bytes += int64(n)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	st.bytes += n
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		st.s2xx++
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.s429++
+	case resp.StatusCode >= 500:
+		st.s5xx++
+	default:
+		st.other++
+	}
+	return nil
+}

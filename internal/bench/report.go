@@ -13,8 +13,11 @@ import (
 // and movement scenarios. Version 3 added the required cluster block:
 // the weak-scaling fabric sweep (aggregate hit ratio vs. the single-node
 // baseline, cross-node fetch quantiles, peer-path counters) plus the
-// real-TCP point.
-const SchemaVersion = 3
+// real-TCP point. Version 4 added the gateway block: HTTP range-read
+// load through internal/gateway with stream detection on vs off
+// (req/s, TTFB quantiles, hit ratio, effectiveness delta) plus the QoS
+// shed subtest.
+const SchemaVersion = 4
 
 // Effectiveness summarizes the prefetch-effectiveness ledger for one
 // scenario run: how each prefetched segment's lifecycle ended, and the
@@ -121,6 +124,46 @@ type MovementResult struct {
 	DecisionSpeedup float64 `json:"decision_speedup"`
 }
 
+// GatewayVariant is one stream-detect mode's run of the gateway
+// scenario: a client herd issuing mixed sequential/random HTTP range
+// reads against a live gateway.
+type GatewayVariant struct {
+	StreamDetect bool  `json:"stream_detect"`
+	Requests     int64 `json:"requests"`
+	Status2xx    int64 `json:"status_2xx"`
+	Status429    int64 `json:"status_429"`
+	Status5xx    int64 `json:"status_5xx"`
+	// Bytes is response body bytes received by the clients.
+	Bytes     int64   `json:"bytes"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	// TTFB quantiles are client-observed: request issued to first body
+	// byte received.
+	TTFBP50us float64 `json:"ttfb_p50_us"`
+	TTFBP99us float64 `json:"ttfb_p99_us"`
+	// HitRatio is the server-side segment hit ratio over the run.
+	HitRatio float64 `json:"hit_ratio"`
+	// Prefetch classifies every prefetched segment's outcome from the
+	// lifecycle ledger.
+	Prefetch Effectiveness `json:"prefetch"`
+}
+
+// GatewayResult pairs the two stream-detect modes over the identical
+// load schedule and carries the QoS shed subtest's outcome.
+type GatewayResult struct {
+	On  GatewayVariant `json:"on"`
+	Off GatewayVariant `json:"off"`
+	// TimelyDelta is On timely prefetches minus Off: what the
+	// external sequencing signal bought.
+	TimelyDelta int64 `json:"timely_delta"`
+	// ShedRequests counts 429 responses in the rate-limited subtest
+	// (must be > 0: the bucket sheds rather than queues).
+	ShedRequests int64 `json:"shed_requests"`
+	// ShedRetryAfter reports whether shed responses carried a
+	// Retry-After of at least one second.
+	ShedRetryAfter bool `json:"shed_retry_after"`
+}
+
 // Comparison pairs the sharded and legacy drain throughput at one scale.
 type Comparison struct {
 	Mode       string  `json:"mode"`
@@ -145,6 +188,7 @@ type Report struct {
 	Reads       *ReadResult     `json:"reads,omitempty"`
 	Movement    *MovementResult `json:"movement,omitempty"`
 	Cluster     *ClusterResult  `json:"cluster,omitempty"`
+	Gateway     *GatewayResult  `json:"gateway,omitempty"`
 	Comparisons []Comparison    `json:"comparisons"`
 }
 
@@ -362,6 +406,48 @@ func Validate(raw []byte) []error {
 		}
 	}
 
+	if gw, present := doc["gateway"]; present && gw != nil {
+		m, ok := gw.(map[string]any)
+		if !ok {
+			bad("gateway: not an object")
+		} else {
+			for _, mode := range []string{"on", "off"} {
+				vm, ok := m[mode].(map[string]any)
+				if !ok {
+					bad("gateway.%s: missing", mode)
+					continue
+				}
+				wantDetect := mode == "on"
+				if sd, ok := vm["stream_detect"].(bool); !ok || sd != wantDetect {
+					bad("gateway.%s.stream_detect: got %v, want %v", mode, vm["stream_detect"], wantDetect)
+				}
+				for _, key := range []string{"requests", "status_2xx", "req_per_sec", "seconds", "bytes"} {
+					if v, ok := vm[key].(float64); !ok || v <= 0 {
+						bad("gateway.%s.%s: missing or <= 0", mode, key)
+					}
+				}
+				if v, ok := vm["status_5xx"].(float64); !ok || v != 0 {
+					bad("gateway.%s.status_5xx: missing or non-zero (the gateway must not 5xx under load)", mode)
+				}
+				for _, key := range []string{"ttfb_p50_us", "ttfb_p99_us"} {
+					if v, ok := vm[key].(float64); !ok || v < 0 {
+						bad("gateway.%s.%s: missing or < 0", mode, key)
+					}
+				}
+				if hr, ok := vm["hit_ratio"].(float64); !ok || hr < 0 || hr > 1 {
+					bad("gateway.%s.hit_ratio: missing or outside [0,1]", mode)
+				}
+				checkPrefetch("gateway."+mode, vm)
+			}
+			if v, ok := m["shed_requests"].(float64); !ok || v <= 0 {
+				bad("gateway.shed_requests: missing or <= 0 (QoS must shed, not queue)")
+			}
+			if ra, ok := m["shed_retry_after"].(bool); !ok || !ra {
+				bad("gateway.shed_retry_after: shed responses must carry Retry-After")
+			}
+		}
+	}
+
 	if r, present := doc["reads"]; present && r != nil {
 		m, ok := r.(map[string]any)
 		if !ok {
@@ -374,6 +460,15 @@ func Validate(raw []byte) []error {
 		}
 	}
 	return errs
+}
+
+// GatewayHitRatio returns the stream-detect-on gateway hit ratio
+// (-min-gateway-hit tripwire input; 0 when the scenario did not run).
+func (r Report) GatewayHitRatio() float64 {
+	if r.Gateway == nil {
+		return 0
+	}
+	return r.Gateway.On.HitRatio
 }
 
 // MinSpeedup returns the smallest sharded/legacy speedup across the

@@ -143,6 +143,33 @@ type Config struct {
 	// Daemon default 2ms; 0 disables the wait.
 	FetchWaitMS float64 `json:"fetch_wait_ms,omitempty"`
 
+	// GatewayMaxInflight caps concurrently served gateway requests
+	// across all clients (default 256); excess requests are shed with
+	// 429 + Retry-After.
+	GatewayMaxInflight int `json:"gateway_max_inflight,omitempty"`
+	// GatewayClientInflight caps concurrent gateway requests per client
+	// IP (default 64).
+	GatewayClientInflight int `json:"gateway_client_inflight,omitempty"`
+	// TenantRPS is the per-tenant token-bucket refill rate for gateway
+	// admission in requests per second; 0 (default) disables tenant
+	// rate limiting.
+	TenantRPS float64 `json:"tenant_rps,omitempty"`
+	// TenantBurst is the token-bucket depth (default 2×tenant_rps).
+	TenantBurst float64 `json:"tenant_burst,omitempty"`
+	// GatewayWaitMS bounds how long an over-rate gateway request waits
+	// for a token before being shed (default 10ms).
+	GatewayWaitMS float64 `json:"gateway_wait_ms,omitempty"`
+	// StreamDetect enables the gateway's sequential-stream detector and
+	// its readahead hints. Daemon default true.
+	StreamDetect bool `json:"stream_detect"`
+	// StreamDetectWindow is the byte tolerance between consecutive
+	// ranges of one client still considered sequential (default: one
+	// segment).
+	StreamDetectWindow int64 `json:"stream_detect_window,omitempty"`
+	// StreamLookahead is how many segments ahead a detected stream
+	// hints (default 4).
+	StreamLookahead int `json:"stream_lookahead,omitempty"`
+
 	TimeScale float64 `json:"time_scale"`
 	Tiers     []Tier  `json:"tiers"`
 	PFS       PFS     `json:"pfs"`
@@ -169,6 +196,11 @@ func Default() Config {
 		MoverQueueDepth:       256,
 		FetchCoalesce:         true,
 		FetchWaitMS:           2,
+		GatewayMaxInflight:    256,
+		GatewayClientInflight: 64,
+		GatewayWaitMS:         10,
+		StreamDetect:          true,
+		StreamLookahead:       4,
 		TimeScale:             1,
 		Tiers: []Tier{
 			{Name: "ram", CapacityBytes: 64 << 20, LatencyUS: 0.2, BandwidthMBps: 8000, Channels: 8},
@@ -245,6 +277,15 @@ func (c Config) Validate() error {
 	if c.FetchWaitMS < 0 {
 		return fmt.Errorf("config: fetch_wait_ms must be >= 0, got %g", c.FetchWaitMS)
 	}
+	if c.GatewayMaxInflight < 0 || c.GatewayClientInflight < 0 {
+		return fmt.Errorf("config: gateway_max_inflight and gateway_client_inflight must be >= 0")
+	}
+	if c.TenantRPS < 0 || c.TenantBurst < 0 || c.GatewayWaitMS < 0 {
+		return fmt.Errorf("config: tenant_rps, tenant_burst and gateway_wait_ms must be >= 0")
+	}
+	if c.StreamDetectWindow < 0 || c.StreamLookahead < 0 {
+		return fmt.Errorf("config: stream_detect_window and stream_lookahead must be >= 0")
+	}
 	if c.LifecycleRing < 0 || c.LifecycleSampleEvery < 0 || c.LifecycleMaxActive < 0 {
 		return fmt.Errorf("config: lifecycle_ring, lifecycle_sample_every and lifecycle_max_active must be >= 0")
 	}
@@ -312,6 +353,12 @@ func (c Config) SlogLevel() slog.Level {
 		return slog.LevelError
 	}
 	return slog.LevelInfo
+}
+
+// GatewayWait returns the gateway's bounded admission wait as a
+// duration.
+func (c Config) GatewayWait() time.Duration {
+	return time.Duration(c.GatewayWaitMS * float64(time.Millisecond))
 }
 
 // FetchWait returns the read-path bounded fetch wait as a duration.

@@ -503,6 +503,57 @@ func (s *Server) serve(id seg.ID, off int64, p []byte) (n int, tier string, ok b
 	return n, tier, true
 }
 
+// ReadRange serves up to len(p) bytes of file starting at off, walking
+// every covered segment: each is read from wherever the hierarchy holds
+// it (ReadPrefetched, including the stall/rescue path) and from the PFS
+// on a miss or stale mapping. size is the caller's pinned view of the
+// file length — normally from a Stat when the request opened — so a
+// concurrent truncation cannot over-read. It returns the bytes written
+// into p plus segment-grain hit/miss counts for the caller's telemetry.
+// The buffer is caller-supplied; the path allocates nothing.
+//
+//hfetch:hotpath
+func (s *Server) ReadRange(file string, size, off int64, p []byte) (n, hits, misses int, err error) {
+	want := int64(len(p))
+	if off < 0 || off >= size {
+		return 0, 0, 0, nil
+	}
+	if off+want > size {
+		want = size - off
+	}
+	var done int64
+	for done < want {
+		cur := off + done
+		id := seg.ID{File: file, Index: s.segr.IndexOf(cur)}
+		segOff := cur - id.Index*s.segr.Size()
+		segEnd := s.segr.RangeOf(id, size).End()
+		chunk := segEnd - cur
+		if chunk > want-done {
+			chunk = want - done
+		}
+		if chunk <= 0 {
+			break
+		}
+		dst := p[done : done+chunk]
+		if got, _, ok := s.ReadPrefetched(id, segOff, dst); ok && int64(got) == chunk {
+			hits++
+			done += chunk
+			continue
+		}
+		// Miss, or stale mapping (segment demoted or evicted mid-read).
+		got, _, rerr := s.fs.ReadAt(file, cur, dst)
+		if rerr != nil {
+			return int(done), hits, misses, rerr
+		}
+		misses++
+		done += int64(got)
+		if int64(got) < chunk {
+			break
+		}
+	}
+	return int(done), hits, misses, nil
+}
+
 // StallStats reports (reads that waited on an in-flight fetch, waits
 // that were then served from a tier).
 func (s *Server) StallStats() (stalls, rescues int64) {

@@ -1,0 +1,390 @@
+// Package gateway is the HTTP/1.1 range-read serving surface in front of
+// an HFetch node: GET/HEAD /files/{path} with Range and If-Range
+// semantics, streaming responses served straight from the tier hierarchy
+// (falling back to PFS passthrough when tiers are cold), per-tenant
+// token-bucket admission with a bounded wait, and a per-client range
+// continuity tracker whose detected sequential streams feed synthetic
+// readahead hints into the event pipeline — external readers drive
+// prefetching for themselves, which is exactly the paper's sequencing
+// signal arriving over the wire instead of through the client agent.
+package gateway
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hfetch/internal/core/server"
+	"hfetch/internal/events"
+	"hfetch/internal/pfs"
+	"hfetch/internal/telemetry"
+)
+
+// Config tunes the gateway. The zero value of every field selects a
+// sensible default; see the field comments for what zero means.
+type Config struct {
+	// MaxInflight caps concurrently served requests across all clients
+	// (default 256). Excess requests are shed with 429.
+	MaxInflight int
+	// ClientInflight caps concurrently served requests per client IP
+	// (default 64).
+	ClientInflight int
+	// TenantRPS is the per-tenant token-bucket refill rate in requests
+	// per second; 0 disables tenant rate limiting.
+	TenantRPS float64
+	// TenantBurst is the bucket depth (default 2×TenantRPS, minimum 1).
+	TenantBurst float64
+	// AdmitWait bounds how long an over-rate request may wait for a
+	// token before being shed with 429 + Retry-After (default 10ms).
+	AdmitWait time.Duration
+	// StreamDetect enables the sequential-stream detector and its
+	// readahead hint events.
+	StreamDetect bool
+	// StreamWindow is the byte tolerance between the end of one request
+	// and the start of the next for the pair to count as one sequential
+	// stream (default: the node's segment size).
+	StreamWindow int64
+	// StreamLookahead is how many segments ahead of a detected stream
+	// the gateway hints (default 4).
+	StreamLookahead int
+	// ChunkBytes is the streaming copy granularity (default 256 KiB).
+	// Each chunk re-checks the file generation so a response never
+	// mixes bytes of two generations.
+	ChunkBytes int
+	// Telemetry receives the gateway metric families; nil disables
+	// instrumentation.
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults(segSize int64) Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.ClientInflight <= 0 {
+		c.ClientInflight = 64
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 2 * c.TenantRPS
+	}
+	if c.TenantBurst < 1 {
+		c.TenantBurst = 1
+	}
+	if c.AdmitWait <= 0 {
+		c.AdmitWait = 10 * time.Millisecond
+	}
+	if c.StreamWindow <= 0 {
+		c.StreamWindow = segSize
+	}
+	if c.StreamLookahead <= 0 {
+		c.StreamLookahead = 4
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 256 << 10
+	}
+	return c
+}
+
+// Gateway serves the range-read API over one node's server. Create with
+// New, mount as an http.Handler, and Close when done: the gateway holds
+// one epoch reference per file it has served (it is a long-lived reader
+// in the watch registry's eyes), released on Close.
+type Gateway struct {
+	srv *server.Server
+	fs  *pfs.FS
+	cfg Config
+
+	mux     *http.ServeMux
+	qos     *qos
+	streams *streamTable
+	bufs    sync.Pool
+
+	// mu guards the epoch table and the closed flag. It is the
+	// outermost lock of the node (see ARCHITECTURE.md "Lock ordering")
+	// and must be released before calling into the server.
+	mu     sync.Mutex
+	closed bool
+	epochs map[string]int64 // file -> size pinned at first serve
+
+	reqVec     *telemetry.CounterVec
+	tenantVec  *telemetry.CounterVec
+	bytesCtr   *telemetry.Counter
+	ttfbHist   *telemetry.Histogram
+	fullHist   *telemetry.Histogram
+	shedVec    *telemetry.CounterVec
+	degradeCtr *telemetry.Counter
+	streamCtr  *telemetry.Counter
+	hintCtr    *telemetry.Counter
+	abortCtr   *telemetry.Counter
+}
+
+// New builds a gateway over srv. The server must outlive the gateway.
+func New(srv *server.Server, cfg Config) *Gateway {
+	cfg = cfg.withDefaults(srv.Segmenter().Size())
+	g := &Gateway{
+		srv:     srv,
+		fs:      srv.FS(),
+		cfg:     cfg,
+		qos:     newQOS(cfg),
+		streams: newStreamTable(cfg.StreamWindow),
+		epochs:  make(map[string]int64),
+	}
+	g.bufs.New = func() any {
+		b := make([]byte, cfg.ChunkBytes)
+		return &b
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /files/{path...}", g.handleFile)
+	g.mux.HandleFunc("HEAD /files/{path...}", g.handleFile)
+	if reg := cfg.Telemetry; reg != nil {
+		g.reqVec = reg.CounterVec("hfetch_gateway_requests_total", "gateway requests by HTTP status code", "code")
+		g.tenantVec = reg.CounterVec("hfetch_gateway_tenant_requests_total", "gateway requests admitted per tenant", "tenant")
+		g.bytesCtr = reg.Counter("hfetch_gateway_bytes_total", "response body bytes served by the gateway")
+		g.ttfbHist = reg.Histogram("hfetch_gateway_ttfb_nanos", "request start to first body byte in nanoseconds")
+		g.fullHist = reg.Histogram("hfetch_gateway_request_nanos", "request start to last body byte in nanoseconds")
+		g.shedVec = reg.CounterVec("hfetch_gateway_shed_total", "requests shed by QoS admission, by reason", "reason")
+		g.degradeCtr = reg.Counter("hfetch_gateway_degraded_total", "responses served entirely from the PFS (no tier hit)")
+		g.streamCtr = reg.Counter("hfetch_gateway_streams_detected_total", "sequential client streams detected")
+		g.hintCtr = reg.Counter("hfetch_gateway_hints_total", "synthetic readahead hint events posted")
+		g.abortCtr = reg.Counter("hfetch_gateway_aborted_total", "responses aborted mid-stream by a generation change")
+		reg.GaugeFunc("hfetch_gateway_inflight", "gateway requests currently being served", g.qos.inflightNow)
+	}
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Close releases every epoch reference the gateway holds. The gateway
+// sheds all subsequent requests with 503.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	files := make([]string, 0, len(g.epochs))
+	for f := range g.epochs {
+		files = append(files, f)
+	}
+	g.mu.Unlock()
+	for _, f := range files {
+		g.srv.EndEpoch(f)
+	}
+}
+
+// trackEpoch records the file in the epoch table. started is true when
+// this call added it (the caller must then StartEpoch outside gw.mu);
+// ok is false when the gateway is closed.
+func (g *Gateway) trackEpoch(file string, size int64) (started, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false, false
+	}
+	if _, exists := g.epochs[file]; exists {
+		return false, true
+	}
+	g.epochs[file] = size
+	return true, true
+}
+
+// clientOf extracts the client identity (IP without port) used for
+// per-client caps and stream tracking.
+func clientOf(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// tenantOf maps a request to its tenant: the X-Tenant header, or
+// "default".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func (g *Gateway) countCode(code int) {
+	g.reqVec.With(strconv.Itoa(code)).Inc()
+}
+
+func (g *Gateway) handleFile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	tenant, client := tenantOf(r), clientOf(r)
+
+	adm := g.qos.admit(tenant, client)
+	if !adm.ok {
+		g.shedVec.With(adm.reason).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(adm.retryAfter))
+		g.countCode(http.StatusTooManyRequests)
+		http.Error(w, "over capacity: "+adm.reason, http.StatusTooManyRequests)
+		return
+	}
+	defer g.qos.release(tenant, client)
+	if adm.wait > 0 {
+		time.Sleep(adm.wait)
+	}
+	g.tenantVec.With(tenant).Inc()
+
+	path := r.PathValue("path")
+	fi, err := g.fs.Stat(path)
+	if err != nil {
+		g.countCode(http.StatusNotFound)
+		http.Error(w, "no such file", http.StatusNotFound)
+		return
+	}
+
+	started, open := g.trackEpoch(path, fi.Size)
+	if !open {
+		g.countCode(http.StatusServiceUnavailable)
+		http.Error(w, "gateway closed", http.StatusServiceUnavailable)
+		return
+	}
+	if started {
+		g.srv.StartEpoch(path, fi.Size)
+	}
+
+	etag := `"g` + strconv.FormatInt(fi.Version, 10) + `"`
+	h := w.Header()
+	h.Set("Accept-Ranges", "bytes")
+	h.Set("ETag", etag)
+	h.Set("Content-Type", "application/octet-stream")
+
+	rangeHdr := r.Header.Get("Range")
+	// If-Range: serve the requested range only when the validator still
+	// matches; otherwise fall back to the full representation (RFC 9110
+	// §13.1.5), which is exactly what a resumed download needs after the
+	// file changed under it.
+	if ir := r.Header.Get("If-Range"); ir != "" && ir != etag {
+		rangeHdr = ""
+	}
+
+	br, mode := parseRange(rangeHdr, fi.Size)
+	if mode == rangeUnsatisfiable {
+		h.Set("Content-Range", "bytes */"+strconv.FormatInt(fi.Size, 10))
+		g.countCode(http.StatusRequestedRangeNotSatisfiable)
+		http.Error(w, "unsatisfiable range", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	status := http.StatusOK
+	if mode == rangePartial {
+		status = http.StatusPartialContent
+		h.Set("Content-Range",
+			"bytes "+strconv.FormatInt(br.start, 10)+"-"+
+				strconv.FormatInt(br.start+br.length-1, 10)+"/"+
+				strconv.FormatInt(fi.Size, 10))
+	}
+	h.Set("Content-Length", strconv.FormatInt(br.length, 10))
+
+	// Every request is an access event: the gateway is just another
+	// reader as far as the prefetching pipeline is concerned.
+	g.srv.PostEvent(events.Event{
+		Op: events.OpRead, File: path, Offset: br.start, Length: br.length,
+		Time: start, Via: events.ViaGateway,
+	})
+	if g.cfg.StreamDetect && br.length > 0 {
+		if detected := g.streams.note(client, path, br.start, br.length); detected {
+			g.streamCtr.Inc()
+			g.hint(path, br.start+br.length, fi.Size, start)
+		}
+	}
+
+	g.countCode(status)
+	w.WriteHeader(status)
+	if r.Method == http.MethodHead || br.length == 0 {
+		g.ttfbHist.Observe(int64(time.Since(start)))
+		g.fullHist.Observe(int64(time.Since(start)))
+		return
+	}
+	g.stream(w, path, fi, br, start)
+}
+
+// hint posts synthetic readahead events for the segments following end,
+// at segment granularity: a detected stream is the sequencing signal,
+// and these events are what turns it into prefetches that land before
+// the client's next request arrives.
+func (g *Gateway) hint(path string, end, size int64, now time.Time) {
+	segr := g.srv.Segmenter()
+	if end <= 0 {
+		end = 1
+	}
+	idx := segr.IndexOf(end - 1)
+	for k := 1; k <= g.cfg.StreamLookahead; k++ {
+		off := (idx + int64(k)) * segr.Size()
+		if off >= size {
+			return
+		}
+		ln := segr.Size()
+		if off+ln > size {
+			ln = size - off
+		}
+		g.srv.PostEvent(events.Event{
+			Op: events.OpRead, File: path, Offset: off, Length: ln,
+			Time: now, Via: events.ViaHint,
+		})
+		g.hintCtr.Inc()
+	}
+}
+
+// stream copies [br.start, br.start+br.length) of path to w in chunks.
+// The file generation is pinned at fi.Version: after reading each chunk
+// and before sending it, the generation is re-checked, and on drift the
+// response is aborted (the connection is cut so the client sees an
+// incomplete transfer rather than bytes of two generations spliced
+// together — PFS contents are a pure function of the generation, so a
+// torn response is otherwise undetectable).
+func (g *Gateway) stream(w http.ResponseWriter, path string, fi pfs.FileInfo, br byteRange, start time.Time) {
+	bufp := g.bufs.Get().(*[]byte)
+	defer g.bufs.Put(bufp)
+	buf := *bufp
+
+	first := true
+	hits, misses := 0, 0
+	var sent int64
+	for sent < br.length {
+		chunk := br.length - sent
+		if chunk > int64(len(buf)) {
+			chunk = int64(len(buf))
+		}
+		n, h, m, err := g.srv.ReadRange(path, fi.Size, br.start+sent, buf[:chunk])
+		hits += h
+		misses += m
+		if err != nil || n == 0 {
+			g.abort()
+		}
+		if cur, serr := g.fs.Stat(path); serr != nil || cur.Version != fi.Version {
+			g.abort()
+		}
+		if first {
+			g.ttfbHist.Observe(int64(time.Since(start)))
+			first = false
+		}
+		if _, werr := w.Write(buf[:n]); werr != nil {
+			// Client went away; nothing more to account.
+			return
+		}
+		sent += int64(n)
+		g.bytesCtr.Add(int64(n))
+	}
+	if hits == 0 && misses > 0 {
+		g.degradeCtr.Inc()
+	}
+	g.fullHist.Observe(int64(time.Since(start)))
+}
+
+// abort cuts the connection without completing the response.
+// http.ErrAbortHandler makes net/http drop the connection quietly, which
+// a client observes as an unexpected EOF before Content-Length bytes —
+// the unambiguous "retry me" signal.
+func (g *Gateway) abort() {
+	g.abortCtr.Inc()
+	panic(http.ErrAbortHandler)
+}

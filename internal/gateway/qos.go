@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// qos is the gateway's admission controller: a global inflight cap, a
+// per-client inflight cap, and a per-tenant token bucket with a bounded
+// wait. Buckets pre-charge: an admitted-with-wait request takes its
+// token immediately (driving the bucket negative), so concurrent
+// requests can never collectively overdraw the rate — over any window T
+// a tenant is admitted at most rate·T + burst requests, no matter how
+// many goroutines race the bucket.
+type qos struct {
+	cfg Config
+
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+	clients map[string]int
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission is the outcome of one admit call.
+type admission struct {
+	ok bool
+	// wait is the bounded pacing delay the caller must sleep before
+	// serving (already charged against the bucket).
+	wait time.Duration
+	// reason and retryAfter are set when !ok: the shed cause for
+	// telemetry and the Retry-After header value in whole seconds.
+	reason     string
+	retryAfter int
+}
+
+func newQOS(cfg Config) *qos {
+	return &qos{
+		cfg:     cfg,
+		tenants: make(map[string]*bucket),
+		clients: make(map[string]int),
+	}
+}
+
+func (q *qos) inflightNow() int64 { return q.inflight.Load() }
+
+// admit decides whether to serve a request. On ok the caller MUST call
+// release with the same identities when the request finishes.
+func (q *qos) admit(tenant, client string) admission {
+	if n := q.inflight.Add(1); n > int64(q.cfg.MaxInflight) {
+		q.inflight.Add(-1)
+		return admission{reason: "max_inflight", retryAfter: 1}
+	}
+	q.mu.Lock()
+	if q.clients[client] >= q.cfg.ClientInflight {
+		q.mu.Unlock()
+		q.inflight.Add(-1)
+		return admission{reason: "client_inflight", retryAfter: 1}
+	}
+	q.clients[client]++
+	var wait time.Duration
+	if q.cfg.TenantRPS > 0 {
+		b := q.tenants[tenant]
+		now := time.Now()
+		if b == nil {
+			b = &bucket{tokens: q.cfg.TenantBurst, last: now}
+			q.tenants[tenant] = b
+		}
+		b.tokens += now.Sub(b.last).Seconds() * q.cfg.TenantRPS
+		b.last = now
+		if b.tokens > q.cfg.TenantBurst {
+			b.tokens = q.cfg.TenantBurst
+		}
+		b.tokens-- // pre-charge, possibly into debt
+		if b.tokens < 0 {
+			need := time.Duration(-b.tokens / q.cfg.TenantRPS * float64(time.Second))
+			if need > q.cfg.AdmitWait {
+				b.tokens++ // undo: this request never runs
+				q.clients[client]--
+				if q.clients[client] <= 0 {
+					delete(q.clients, client)
+				}
+				q.mu.Unlock()
+				q.inflight.Add(-1)
+				return admission{reason: "tenant_rps",
+					retryAfter: int(math.Ceil(need.Seconds()))}
+			}
+			wait = need
+		}
+	}
+	q.mu.Unlock()
+	return admission{ok: true, wait: wait}
+}
+
+// release returns the request's inflight slots.
+func (q *qos) release(tenant, client string) {
+	_ = tenant // tokens were charged at admit; only slots return
+	q.mu.Lock()
+	q.clients[client]--
+	if q.clients[client] <= 0 {
+		delete(q.clients, client)
+	}
+	q.mu.Unlock()
+	q.inflight.Add(-1)
+}

@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"strconv"
+	"strings"
+)
+
+// byteRange is a half-open slice [start, start+length) of a file.
+type byteRange struct {
+	start  int64
+	length int64
+}
+
+// Range parse outcomes.
+const (
+	// rangeFull: no usable Range header — serve the whole file with 200.
+	// Malformed headers land here too: RFC 9110 says an invalid Range
+	// MUST be ignored, which conveniently keeps curl typos working.
+	rangeFull = iota
+	// rangePartial: serve byteRange with 206.
+	rangePartial
+	// rangeUnsatisfiable: 416 with Content-Range: bytes */size.
+	rangeUnsatisfiable
+)
+
+// parseRange interprets a Range header against a resource of the given
+// size. Multi-range requests are policy-rejected with 416: coalescing
+// multipart/byteranges responses buys nothing over issuing the ranges as
+// separate requests, and single-range responses keep the streaming path
+// allocation-free.
+func parseRange(h string, size int64) (byteRange, int) {
+	full := byteRange{start: 0, length: size}
+	if h == "" {
+		return full, rangeFull
+	}
+	const prefix = "bytes="
+	if !strings.HasPrefix(h, prefix) {
+		return full, rangeFull
+	}
+	spec := strings.TrimSpace(h[len(prefix):])
+	if spec == "" {
+		return full, rangeFull
+	}
+	if strings.Contains(spec, ",") {
+		return byteRange{}, rangeUnsatisfiable
+	}
+	if strings.HasPrefix(spec, "-") {
+		// Suffix range: the final n bytes.
+		n, err := parseOff(spec[1:])
+		if err != nil {
+			return full, rangeFull
+		}
+		if n == 0 || size == 0 {
+			return byteRange{}, rangeUnsatisfiable
+		}
+		if n > size {
+			n = size
+		}
+		return byteRange{start: size - n, length: n}, rangePartial
+	}
+	first, rest, ok := strings.Cut(spec, "-")
+	if !ok {
+		return full, rangeFull
+	}
+	a, err := parseOff(first)
+	if err != nil {
+		return full, rangeFull
+	}
+	if a >= size {
+		// Includes every valid spec against a zero-length file.
+		return byteRange{}, rangeUnsatisfiable
+	}
+	if rest == "" {
+		// Open-ended: a through EOF.
+		return byteRange{start: a, length: size - a}, rangePartial
+	}
+	b, err := parseOff(rest)
+	if err != nil || a > b {
+		return full, rangeFull
+	}
+	if b >= size {
+		b = size - 1
+	}
+	return byteRange{start: a, length: b - a + 1}, rangePartial
+}
+
+// parseOff parses a non-negative decimal byte offset.
+func parseOff(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		if err == nil {
+			err = strconv.ErrRange
+		}
+		return 0, err
+	}
+	return v, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 )
 
@@ -99,11 +100,13 @@ func (s *Snapshot) Merge(o Snapshot) {
 }
 
 // WriteText renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4). Histograms emit cumulative le buckets up to
-// the highest occupied bucket, then +Inf, sum and count.
+// format (version 0.0.4), families in sorted name order so scrapes and
+// `hfetchctl metrics raw` output diff cleanly across runs. Histograms
+// emit cumulative le buckets up to the highest occupied bucket, then
+// +Inf, sum and count.
 func (s Snapshot) WriteText(w io.Writer) {
-	// Group same-name series (a merged snapshot may interleave them)
-	// while preserving first-seen order.
+	// Group same-name series (a merged snapshot may interleave them),
+	// then order families by name for stable output.
 	byName := make(map[string][]int, len(s.Metrics))
 	var names []string
 	for i, m := range s.Metrics {
@@ -112,6 +115,7 @@ func (s Snapshot) WriteText(w io.Writer) {
 		}
 		byName[m.Name] = append(byName[m.Name], i)
 	}
+	sort.Strings(names)
 	for _, name := range names {
 		first := s.Metrics[byName[name][0]]
 		if first.Help != "" {
