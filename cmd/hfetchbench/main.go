@@ -10,7 +10,7 @@
 //	hfetchbench [-short] [-out file] [-clients 320,640,...]
 //	            [-min-speedup 1.0] [-min-decision-speedup 1.0]
 //	            [-max-cluster-hit-drop 0.05] [-min-gateway-hit 0.2]
-//	            [-trace-out trace.json] [-quiet]
+//	            [-max-bytes-copied 1024] [-trace-out trace.json] [-quiet]
 //	hfetchbench -validate BENCH_abc1234.json
 //	hfetchbench -validate-trace trace.json
 //
@@ -24,8 +24,11 @@
 // single-node baseline (cross-node serves should keep the fabric at
 // parity). -min-gateway-hit N fails when the HTTP gateway scenario's
 // stream-detect-on tier hit ratio falls below N (sequential readers
-// must keep landing on prefetched segments). -validate checks an
-// existing report against the schema and
+// must keep landing on prefetched segments). -max-bytes-copied N fails
+// when the alloc scenario's warm range-view pass copied more than N
+// payload bytes per read — the zero-copy serve path must stay
+// zero-copy (a fully copying path shows a whole segment per read).
+// -validate checks an existing report against the schema and
 // exits. -trace-out exports the read scenario's lifecycle traces as
 // Chrome trace_event JSON (load in Perfetto), validated on write;
 // -validate-trace checks an existing trace file and exits.
@@ -54,6 +57,7 @@ func main() {
 	minDecision := flag.Float64("min-decision-speedup", 0, "fail when the movement scenario's sync/async decision-pass p99 ratio is below this (0 disables)")
 	maxHitDrop := flag.Float64("max-cluster-hit-drop", -1, "fail when any multi-node fabric scale's aggregate hit ratio falls more than this below the single-node baseline (negative disables)")
 	minGatewayHit := flag.Float64("min-gateway-hit", -1, "fail when the gateway scenario's stream-detect-on hit ratio is below this (negative disables)")
+	maxBytesCopied := flag.Float64("max-bytes-copied", -1, "fail when the alloc scenario's warm range-view pass copied more than this many payload bytes per read (negative disables)")
 	validate := flag.String("validate", "", "validate an existing report file and exit")
 	traceOut := flag.String("trace-out", "", "export the read scenario's lifecycle traces as Perfetto-loadable JSON to this file")
 	validateTrace := flag.String("validate-trace", "", "validate an existing trace JSON file and exit")
@@ -172,6 +176,15 @@ func main() {
 		fmt.Printf("  gateway timely delta on-off %+d, shed %d (retry-after %v)\n",
 			g.TimelyDelta, g.ShedRequests, g.ShedRetryAfter)
 	}
+	if rep.Alloc != nil {
+		for _, p := range []struct {
+			name string
+			v    bench.AllocVariant
+		}{{"reads", rep.Alloc.Reads}, {"gateway", rep.Alloc.Gateway}} {
+			fmt.Printf("  alloc %-7s: %4d warm reads  %.1f B copied/read  %.1f allocs/op  slab hit %.2f  zero-copy %d B\n",
+				p.name, p.v.Ops, p.v.BytesCopiedPerRead, p.v.AllocsPerOp, p.v.SlabHitRatio, p.v.ZeroCopyBytes)
+		}
+	}
 	if rep.Cluster != nil {
 		c := rep.Cluster
 		scales := c.Scales
@@ -218,6 +231,15 @@ func main() {
 		if hit := rep.GatewayHitRatio(); hit < *minGatewayHit {
 			fatalf("gateway regressed: stream-detect-on hit ratio %.3f < required %.3f",
 				hit, *minGatewayHit)
+		}
+	}
+	if *maxBytesCopied >= 0 {
+		if rep.Alloc == nil {
+			fatalf("-max-bytes-copied set but the report has no alloc scenario")
+		}
+		if bc := rep.ReadBytesCopiedPerRead(); bc > *maxBytesCopied {
+			fatalf("zero-copy read path regressed: %.1f payload bytes copied per warm read > allowed %.1f",
+				bc, *maxBytesCopied)
 		}
 	}
 }

@@ -10,10 +10,17 @@
 //     telemetry sampling gate — an if whose condition contains a
 //     TimeSample() call or a bool assigned from one;
 //   - map allocation (make(map...) or a map composite literal);
-//   - function literals (a closure allocation per event).
+//   - function literals (a closure allocation per event);
+//   - no-copy rule: `make([]byte, n)` with a non-constant size (a
+//     per-read payload allocation — draw from the slab, tiers.SlabGet)
+//     and `copy()` between plain byte slices (a payload memcpy — serve
+//     pinned tier views instead). Constant-size scratch buffers and
+//     copies where either operand is array-backed (fixed-size encode
+//     scratch like `arg[0:8]`) are exempt.
 //
 // Deliberate exceptions — an error path that formats once per failure,
-// a clock fallback — carry a //lint:allow hotpath annotation.
+// a clock fallback, an API whose contract is filling the caller's
+// buffer — carry a //lint:allow hotpath annotation.
 package hotpath
 
 import (
@@ -89,14 +96,33 @@ func check(pass *framework.Pass, fd *ast.FuncDecl) {
 }
 
 func checkCall(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node, timed map[types.Object]bool) {
-	// make(map[...]...) per event.
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
-		if t, ok := pass.TypesInfo.Types[call.Args[0]]; ok && t.IsType() {
+	// Builtins: make(map[...]...) per event, non-constant make([]byte),
+	// and payload copy().
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if len(call.Args) == 0 {
+				return
+			}
+			t, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || !t.IsType() {
+				return
+			}
 			if _, isMap := t.Type.Underlying().(*types.Map); isMap {
 				pass.Reportf(call.Pos(), "map allocated per event in hot path")
+			} else if isByteSlice(t.Type) && len(call.Args) > 1 && !isConstExpr(pass, call.Args[1]) {
+				pass.Reportf(call.Pos(), "per-read []byte allocation in hot path; draw segment-sized buffers from the slab (tiers.SlabGet)")
 			}
+			return
+		case "copy":
+			if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "copy" {
+				break
+			}
+			if len(call.Args) == 2 && isPayloadCopy(pass, call.Args[0], call.Args[1]) {
+				pass.Reportf(call.Pos(), "payload copy() in hot path; serve pinned tier views (tiers.Store.View/ReadVec) instead")
+			}
+			return
 		}
-		return
 	}
 	fn := framework.CalleeFunc(pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil {
@@ -123,6 +149,60 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node, timed
 			}
 		}
 	}
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isConstExpr reports whether e is a compile-time constant (a fixed-size
+// scratch buffer, not a per-read payload sizing).
+func isConstExpr(pass *framework.Pass, e ast.Expr) bool {
+	t, ok := pass.TypesInfo.Types[e]
+	return ok && t.Value != nil
+}
+
+// isPayloadCopy reports whether a copy() call moves payload bytes: both
+// operands are plain byte slices and neither is carved from a fixed-size
+// array (binary-encode scratch like `copy(arg[0:8], tsb[:])` stays
+// legal).
+func isPayloadCopy(pass *framework.Pass, dst, src ast.Expr) bool {
+	if !isByteSliceExpr(pass, dst) || !isByteSliceExpr(pass, src) {
+		return false
+	}
+	return !arrayBacked(pass, dst) && !arrayBacked(pass, src)
+}
+
+func isByteSliceExpr(pass *framework.Pass, e ast.Expr) bool {
+	t, ok := pass.TypesInfo.Types[e]
+	return ok && t.Type != nil && isByteSlice(t.Type)
+}
+
+// arrayBacked reports whether e slices a fixed-size array (directly or
+// through a pointer).
+func arrayBacked(pass *framework.Pass, e ast.Expr) bool {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	t, ok := pass.TypesInfo.Types[se.X]
+	if !ok || t.Type == nil {
+		return false
+	}
+	switch u := t.Type.Underlying().(type) {
+	case *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := u.Elem().Underlying().(*types.Array)
+		return isArr
+	}
+	return false
 }
 
 // timedVars collects bool variables assigned from a TimeSample() call,

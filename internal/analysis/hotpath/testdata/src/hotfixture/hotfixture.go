@@ -85,6 +85,39 @@ func sanctioned(seg int64) string {
 }
 
 //hfetch:hotpath
+func payloadAllocPerRead(n int) []byte {
+	return make([]byte, n) // want `per-read \[\]byte allocation in hot path`
+}
+
+//hfetch:hotpath
+func payloadCopy(dst, src []byte) int {
+	return copy(dst, src) // want `payload copy\(\) in hot path`
+}
+
+//hfetch:hotpath
+func scratchAllocConstSize() []byte {
+	return make([]byte, 16) // constant-size scratch: exempt
+}
+
+//hfetch:hotpath
+func arrayScratchCopy(src []byte) uint8 {
+	var arg [16]byte
+	copy(arg[0:8], src) // array-backed destination: exempt
+	return arg[0]
+}
+
+//hfetch:hotpath
+func stringLabelCopy(dst []byte) int {
+	return copy(dst, "label") // string source: not a payload move
+}
+
+//hfetch:hotpath
+func waivedPayloadCopy(dst, src []byte) int {
+	//lint:allow hotpath fixture demonstrates the sanctioned API-boundary copy
+	return copy(dst, src)
+}
+
+//hfetch:hotpath
 func allowedFallback(ts time.Time) time.Time {
 	if ts.IsZero() {
 		//lint:allow hotpath fixture demonstrates the sanctioned clock fallback
@@ -94,9 +127,11 @@ func allowedFallback(ts time.Time) time.Time {
 }
 
 // unannotated may do all of it freely.
-func unannotated(file string, seg int64) string {
+func unannotated(file string, seg int64, p []byte) string {
 	_ = time.Now()
 	_ = map[string]int{file: 1}
+	buf := make([]byte, len(p))
+	copy(buf, p)
 	return fmt.Sprintf("%s#%d", file, seg)
 }
 

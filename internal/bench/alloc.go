@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+
+	"hfetch"
+	"hfetch/internal/tiers"
+)
+
+// runAlloc measures the allocation profile of the warm read path: after
+// a priming pass has pulled the working set into the hierarchy, the same
+// reads run again while the tiers copy ledger, the runtime allocator and
+// the slab counters are sampled around the window. Two consumers are
+// measured — direct pinned range views (the zero-copy serve path) and
+// the HTTP gateway streaming through the same views — so a regression
+// that reintroduces per-read payload copies or allocations shows up as
+// numbers, not just as a lint finding.
+func runAlloc(o Options) (AllocResult, error) {
+	var res AllocResult
+	var err error
+	if res.Reads, err = runAllocReads(o); err != nil {
+		return res, fmt.Errorf("reads: %w", err)
+	}
+	if res.Gateway, err = runAllocGateway(o); err != nil {
+		return res, fmt.Errorf("gateway: %w", err)
+	}
+	return res, nil
+}
+
+// allocProbe snapshots the copy ledger, the zero-copy counter and the
+// runtime allocator at the start of a measured window.
+type allocProbe struct {
+	zeroFn  func() int64
+	copied  int64
+	zero    int64
+	mallocs uint64
+}
+
+func startProbe(zeroFn func() int64) allocProbe {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return allocProbe{
+		zeroFn:  zeroFn,
+		copied:  tiers.CopiedBytes(),
+		zero:    zeroFn(),
+		mallocs: ms.Mallocs,
+	}
+}
+
+// fill writes the window's deltas into v.
+func (p allocProbe) fill(v *AllocVariant, ops int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	v.Ops = ops
+	v.BytesCopied = tiers.CopiedBytes() - p.copied
+	v.ZeroCopyBytes = p.zeroFn() - p.zero
+	if ops > 0 {
+		v.BytesCopiedPerRead = float64(v.BytesCopied) / float64(ops)
+		v.AllocsPerOp = float64(ms.Mallocs-p.mallocs) / float64(ops)
+	}
+}
+
+// slabRatioSince returns hits/gets of the process slab allocator since
+// the snapshot (0 when nothing was requested in the window).
+func slabRatioSince(before tiers.SlabStats) float64 {
+	after := tiers.ReadSlabStats()
+	gets := after.Gets - before.Gets
+	if gets <= 0 {
+		return 0
+	}
+	return float64(after.Hits-before.Hits) / float64(gets)
+}
+
+// runAllocReads primes a working set through ordinary client reads, then
+// re-reads every segment through a pinned range view, consuming chunks
+// by reference — the measured pass should copy nothing and allocate
+// next to nothing.
+func runAllocReads(o Options) (AllocVariant, error) {
+	var v AllocVariant
+	files, segs := 4, int64(16)
+	if o.Short {
+		files, segs = 2, 8
+	}
+	cfg := drainConfig(o.Shards, 1, 0)
+	need := int64(files) * segs * benchSegSize
+	for i := range cfg.Tiers {
+		cfg.Tiers[i].Capacity = need << uint(i)
+	}
+	slabBefore := tiers.ReadSlabStats()
+	cluster, err := hfetch.NewCluster(cfg)
+	if err != nil {
+		return v, err
+	}
+	defer cluster.Stop()
+	node := cluster.Node(0)
+	srv := node.Server()
+
+	fileSize := segs * benchSegSize
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("/bench/alloc-%02d.dat", i)
+		if err := cluster.CreateFile(names[i], fileSize); err != nil {
+			return v, err
+		}
+	}
+
+	buf := tiers.SlabGet(benchSegSize)
+	defer tiers.SlabPut(buf)
+	cl := node.NewClient()
+	for _, name := range names {
+		f, err := cl.Open(name)
+		if err != nil {
+			return v, err
+		}
+		for s := int64(0); s < segs; s++ {
+			if _, err := f.ReadAt(buf, s*benchSegSize); err != nil {
+				f.Close()
+				return v, fmt.Errorf("prime %s seg %d: %w", name, s, err)
+			}
+		}
+		f.Close()
+	}
+	// Let placement land the primed segments before measuring.
+	node.Flush()
+
+	probe := startProbe(srv.ZeroCopyBytes)
+	var ops, served int64
+	var hits, misses int
+	var sink byte
+	for _, name := range names {
+		for s := int64(0); s < segs; s++ {
+			view := srv.OpenRangeView(name, fileSize, s*benchSegSize, benchSegSize)
+			for {
+				chunk, _, rerr := view.Next(buf)
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					view.Close()
+					return v, fmt.Errorf("view %s seg %d: %w", name, s, rerr)
+				}
+				// Touch the chunk so serving by reference is not optimized
+				// away; no copy, no retention past Close.
+				sink ^= chunk[0]
+				served += int64(len(chunk))
+			}
+			hits += view.Hits()
+			misses += view.Misses()
+			view.Close()
+			ops++
+		}
+	}
+	_ = sink
+	probe.fill(&v, ops)
+	v.BytesServed = served
+	if hits+misses > 0 {
+		v.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	v.SlabHitRatio = slabRatioSince(slabBefore)
+	return v, nil
+}
+
+// runAllocGateway drives the same warm-path measurement through the HTTP
+// gateway: a sequential priming pass, a flush, then one ranged GET per
+// segment while the window is sampled. The gateway streams from pinned
+// views, so the measured pass's copy-ledger delta stays at zero even
+// though every payload byte crosses the HTTP response.
+func runAllocGateway(o Options) (AllocVariant, error) {
+	var v AllocVariant
+	segs := int64(16)
+	if o.Short {
+		segs = 8
+	}
+	need := segs * benchSegSize
+	slabBefore := tiers.ReadSlabStats()
+	cluster, err := hfetch.NewCluster(gatewayBenchConfig(o, false, need))
+	if err != nil {
+		return v, err
+	}
+	defer cluster.Stop()
+	node := cluster.Node(0)
+	const name = "bench/alloc-gw.dat"
+	if err := cluster.CreateFile(name, need); err != nil {
+		return v, err
+	}
+	ts := httptest.NewServer(node.GatewayHandler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	getSeg := func(s int64) (int64, error) {
+		req, err := http.NewRequest("GET", ts.URL+"/files/"+name, nil)
+		if err != nil {
+			return 0, err
+		}
+		off := s * benchSegSize
+		req.Header.Set("Range",
+			"bytes="+strconv.FormatInt(off, 10)+"-"+strconv.FormatInt(off+benchSegSize-1, 10))
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		n, _ := io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusPartialContent {
+			return n, fmt.Errorf("GET seg %d: status %d", s, resp.StatusCode)
+		}
+		return n, nil
+	}
+
+	for s := int64(0); s < segs; s++ {
+		if _, err := getSeg(s); err != nil {
+			return v, fmt.Errorf("prime: %w", err)
+		}
+	}
+	node.Flush()
+
+	srv := node.Server()
+	ios := srv.IOStats()
+	hitsBefore, missesBefore := ios.Hits(), ios.Misses()
+	probe := startProbe(srv.ZeroCopyBytes)
+	var ops, served int64
+	for s := int64(0); s < segs; s++ {
+		n, err := getSeg(s)
+		if err != nil {
+			return v, err
+		}
+		served += n
+		ops++
+	}
+	probe.fill(&v, ops)
+	v.BytesServed = served
+	hits := ios.Hits() - hitsBefore
+	misses := ios.Misses() - missesBefore
+	if hits+misses > 0 {
+		v.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	v.SlabHitRatio = slabRatioSince(slabBefore)
+	return v, nil
+}

@@ -9,9 +9,11 @@
 // multi-node fabric (1→8 emulated daemons over the in-process
 // transport plus a real-TCP point, reporting aggregate hit ratio
 // against the single-node baseline and cross-node fetch quantiles),
-// and assembles the results into the schema-versioned report written
-// to BENCH_<rev>.json (see BENCHMARKS.md for the schema and
-// baselines).
+// an allocation-profile scenario re-measuring the warm read path
+// (bytes-copied-per-read, allocs/op, slab hit ratio for the range-view
+// and gateway consumers), and assembles the results into the
+// schema-versioned report written to BENCH_<rev>.json (see
+// BENCHMARKS.md for the schema and baselines).
 //
 // Unlike internal/harness, which reproduces the paper's figures in
 // modeled device time, bench measures the *implementation*: wall-clock
@@ -230,6 +232,20 @@ func Run(o Options, logf func(format string, args ...any)) (Report, error) {
 	logf("http   stream detection bought %+d timely prefetches; QoS shed %d over-rate requests (Retry-After %v)",
 		gw.TimelyDelta, gw.ShedRequests, gw.ShedRetryAfter)
 	rep.Gateway = &gw
+
+	al, err := runAlloc(o)
+	if err != nil {
+		return rep, fmt.Errorf("alloc: %w", err)
+	}
+	for _, p := range []struct {
+		name string
+		v    AllocVariant
+	}{{"reads", al.Reads}, {"gateway", al.Gateway}} {
+		logf("alloc  %-7s: %4d warm reads  %7.1f B copied/read  %8.1f allocs/op  slab hit %.2f  zero-copy %d B  hit %.3f",
+			p.name, p.v.Ops, p.v.BytesCopiedPerRead, p.v.AllocsPerOp,
+			p.v.SlabHitRatio, p.v.ZeroCopyBytes, p.v.HitRatio)
+	}
+	rep.Alloc = &al
 	return rep, nil
 }
 

@@ -65,6 +65,26 @@ func TestRunShortProducesValidReport(t *testing.T) {
 		t.Fatal("sync movement reported mover pipeline activity")
 	}
 
+	if rep.Alloc == nil {
+		t.Fatal("no alloc scenario result")
+	}
+	for _, p := range []struct {
+		name string
+		v    AllocVariant
+	}{{"reads", rep.Alloc.Reads}, {"gateway", rep.Alloc.Gateway}} {
+		if p.v.Ops == 0 || p.v.BytesServed == 0 {
+			t.Fatalf("alloc %s: empty measurement (%+v)", p.name, p.v)
+		}
+		if p.v.ZeroCopyBytes == 0 {
+			t.Fatalf("alloc %s: zero-copy path never engaged (%+v)", p.name, p.v)
+		}
+	}
+	// A fully copying path would copy one whole segment per warm read;
+	// the pinned view path must stay well under that.
+	if bc := rep.Alloc.Reads.BytesCopiedPerRead; bc >= benchSegSize {
+		t.Fatalf("warm range-view pass copied %.0f B/read, want < %d", bc, benchSegSize)
+	}
+
 	raw, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)

@@ -16,8 +16,12 @@ import (
 // real-TCP point. Version 4 added the gateway block: HTTP range-read
 // load through internal/gateway with stream detection on vs off
 // (req/s, TTFB quantiles, hit ratio, effectiveness delta) plus the QoS
-// shed subtest.
-const SchemaVersion = 4
+// shed subtest. Version 5 added the alloc block: the warm read path
+// re-measured for its allocation profile — bytes-copied-per-read from
+// the tiers copy ledger, allocs/op, slab hit ratio and by-reference
+// bytes — for the range-view and gateway consumers (the
+// -max-bytes-copied gate's input).
+const SchemaVersion = 5
 
 // Effectiveness summarizes the prefetch-effectiveness ledger for one
 // scenario run: how each prefetched segment's lifecycle ended, and the
@@ -164,6 +168,46 @@ type GatewayResult struct {
 	ShedRetryAfter bool `json:"shed_retry_after"`
 }
 
+// AllocVariant is one consumer's allocation profile in the alloc
+// scenario: a priming pass pulls the working set into the hierarchy,
+// then the same reads run again warm while the copy ledger
+// (tiers.CopiedBytes), the runtime allocator and the slab counters are
+// read before and after the measured window.
+type AllocVariant struct {
+	// Ops is the number of measured warm reads (segment-sized range
+	// views, or HTTP range requests for the gateway variant).
+	Ops int64 `json:"ops"`
+	// BytesServed is payload bytes delivered during the measured pass.
+	BytesServed int64 `json:"bytes_served"`
+	// BytesCopied is the read-path copy ledger's delta over the measured
+	// pass: payload memcpys only. The pinned view path leaves it at zero.
+	BytesCopied int64 `json:"bytes_copied"`
+	// BytesCopiedPerRead is BytesCopied / Ops — the -max-bytes-copied
+	// gate checks the reads variant's value.
+	BytesCopiedPerRead float64 `json:"bytes_copied_per_read"`
+	// ZeroCopyBytes is the server's by-reference serve counter delta:
+	// bytes that went out as pinned tier views, never copied.
+	ZeroCopyBytes int64 `json:"zero_copy_bytes"`
+	// AllocsPerOp is the runtime mallocs delta over the measured pass
+	// divided by Ops. Background pipeline goroutines contribute noise;
+	// this is a trend metric, not an exact count.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SlabHitRatio is hits/gets of the process slab allocator over the
+	// whole sub-scenario, priming included — priming is where the fetch
+	// path draws its segment buffers.
+	SlabHitRatio float64 `json:"slab_hit_ratio"`
+	// HitRatio is the tier hit ratio of the measured pass (should be ~1:
+	// the pass exists to measure the warm path).
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// AllocResult pairs the two measured consumers of the zero-copy read
+// path: direct pinned range views and the HTTP gateway.
+type AllocResult struct {
+	Reads   AllocVariant `json:"reads"`
+	Gateway AllocVariant `json:"gateway"`
+}
+
 // Comparison pairs the sharded and legacy drain throughput at one scale.
 type Comparison struct {
 	Mode       string  `json:"mode"`
@@ -189,6 +233,7 @@ type Report struct {
 	Movement    *MovementResult `json:"movement,omitempty"`
 	Cluster     *ClusterResult  `json:"cluster,omitempty"`
 	Gateway     *GatewayResult  `json:"gateway,omitempty"`
+	Alloc       *AllocResult    `json:"alloc,omitempty"`
 	Comparisons []Comparison    `json:"comparisons"`
 }
 
@@ -448,6 +493,36 @@ func Validate(raw []byte) []error {
 		}
 	}
 
+	if al, present := doc["alloc"]; present && al != nil {
+		m, ok := al.(map[string]any)
+		if !ok {
+			bad("alloc: not an object")
+		} else {
+			for _, mode := range []string{"reads", "gateway"} {
+				vm, ok := m[mode].(map[string]any)
+				if !ok {
+					bad("alloc.%s: missing", mode)
+					continue
+				}
+				for _, key := range []string{"ops", "bytes_served", "zero_copy_bytes"} {
+					if v, ok := vm[key].(float64); !ok || v <= 0 {
+						bad("alloc.%s.%s: missing or <= 0 (zero-copy path unmeasured)", mode, key)
+					}
+				}
+				for _, key := range []string{"bytes_copied", "bytes_copied_per_read", "allocs_per_op"} {
+					if v, ok := vm[key].(float64); !ok || v < 0 {
+						bad("alloc.%s.%s: missing or < 0", mode, key)
+					}
+				}
+				for _, key := range []string{"slab_hit_ratio", "hit_ratio"} {
+					if v, ok := vm[key].(float64); !ok || v < 0 || v > 1 {
+						bad("alloc.%s.%s: missing or outside [0,1]", mode, key)
+					}
+				}
+			}
+		}
+	}
+
 	if r, present := doc["reads"]; present && r != nil {
 		m, ok := r.(map[string]any)
 		if !ok {
@@ -469,6 +544,16 @@ func (r Report) GatewayHitRatio() float64 {
 		return 0
 	}
 	return r.Gateway.On.HitRatio
+}
+
+// ReadBytesCopiedPerRead returns the alloc scenario's reads-variant
+// bytes-copied-per-read (-max-bytes-copied tripwire input; -1 when the
+// scenario did not run).
+func (r Report) ReadBytesCopiedPerRead() float64 {
+	if r.Alloc == nil {
+		return -1
+	}
+	return r.Alloc.Reads.BytesCopiedPerRead
 }
 
 // MinSpeedup returns the smallest sharded/legacy speedup across the

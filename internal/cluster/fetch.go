@@ -3,11 +3,13 @@ package cluster
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hfetch/internal/comm"
 	"hfetch/internal/core/seg"
 	"hfetch/internal/telemetry"
+	"hfetch/internal/tiers"
 )
 
 // remoteCaller issues one direct peer read; implemented by
@@ -64,11 +66,24 @@ type Fetcher struct {
 	histByWho map[string]*telemetry.Histogram // always kept, even without a registry
 }
 
+// fetchCall is one single-flight remote read. refs counts the leader
+// plus every waiter that joined while the call sat in the inflight map
+// (joins happen under Fetcher.mu, before the leader deletes the entry,
+// so the count can only grow while the buffer is still shared); the
+// last release returns the slab-drawn payload buffer to its pool.
 type fetchCall struct {
 	done chan struct{}
 	n    int
 	ok   bool
 	data []byte
+	refs atomic.Int32
+}
+
+func (c *fetchCall) release() {
+	if c.refs.Add(-1) == 0 {
+		tiers.SlabPut(c.data)
+		c.data = nil
+	}
 }
 
 type peerCooldown struct {
@@ -120,21 +135,30 @@ func (f *Fetcher) ReadRemote(node, tier string, id seg.ID, off int64, p []byte) 
 	key := fetchKey(node, tier, id, off, len(p))
 	f.mu.Lock()
 	if c, ok := f.inflight[key]; ok {
+		c.refs.Add(1)
 		f.mu.Unlock()
 		<-c.done
-		if !c.ok {
+		n, served := 0, c.ok
+		if served {
+			n = copy(p, c.data[:c.n])
+			tiers.CountCopied(int64(n))
+		}
+		c.release()
+		if !served {
 			return 0, false
 		}
 		f.outcome("shared")
-		return copy(p, c.data[:c.n]), true
+		return n, true
 	}
 	c := &fetchCall{done: make(chan struct{})}
+	c.refs.Store(1)
 	f.inflight[key] = c
 	f.mu.Unlock()
 
-	// Leader: perform the request with no fetcher lock held.
+	// Leader: perform the request with no fetcher lock held, into a
+	// slab-drawn buffer shared with every waiter by refcount.
 	start := time.Now()
-	buf := make([]byte, len(p))
+	buf := tiers.SlabGet(int64(len(p)))
 	n, ok, err := f.call.ReadRemoteDirect(node, tier, id, off, buf)
 	d := time.Since(start)
 	f.cfg.Health.Observe(node, d, err)
@@ -155,10 +179,16 @@ func (f *Fetcher) ReadRemote(node, tier string, id seg.ID, off int64, p []byte) 
 	f.mu.Unlock()
 	close(c.done)
 
-	if !c.ok {
+	served := c.ok
+	if served {
+		n = copy(p, buf[:n])
+		tiers.CountCopied(int64(n))
+	}
+	c.release()
+	if !served {
 		return 0, false
 	}
-	return copy(p, buf[:n]), true
+	return n, true
 }
 
 // admit checks the per-peer cooldown window.

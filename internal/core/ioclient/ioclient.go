@@ -79,17 +79,20 @@ func (c *Client) Fetch(id seg.ID, size int64, dst *tiers.Store) error {
 	if size > 0 && size < r.Len {
 		r.Len = size
 	}
-	buf := make([]byte, r.Len)
+	buf := tiers.SlabGet(r.Len)
 	n, _, err := c.fs.ReadAt(id.File, r.Off, buf)
 	if err != nil {
+		tiers.SlabPut(buf)
 		return fmt.Errorf("ioclient: fetch %v: %w", id, err)
 	}
 	if n == 0 {
+		tiers.SlabPut(buf)
 		return fmt.Errorf("ioclient: fetch %v: empty segment", id)
 	}
-	// buf is freshly allocated and never reused: hand ownership to the
-	// store instead of paying Put's defensive copy.
+	// buf came fresh from the slab and is not shared: hand ownership to
+	// the store instead of paying Put's defensive copy.
 	if err := dst.PutOwned(id, buf[:n]); err != nil {
+		tiers.SlabPut(buf)
 		return fmt.Errorf("ioclient: fetch %v into %s: %w", id, dst.Name(), err)
 	}
 	c.fetches.Add(1)
@@ -138,12 +141,13 @@ func (c *Client) FetchMany(file string, first int64, sizes []int64, dst *tiers.S
 			total += sizes[k]
 		}
 		off := (first + int64(i)) * grain
-		buf := make([]byte, total)
+		buf := tiers.SlabGet(total)
 		n, _, err := c.fs.ReadAt(file, off, buf)
 		if err != nil || n == 0 {
 			if err == nil {
 				err = fmt.Errorf("ioclient: coalesced fetch %s@%d: empty span", file, off)
 			}
+			tiers.SlabPut(buf)
 			for k := i; k < j; k++ {
 				errs[k] = err
 			}
@@ -163,9 +167,9 @@ func (c *Client) FetchMany(file string, first int64, sizes []int64, dst *tiers.S
 			if end > int64(n) {
 				end = int64(n)
 			}
-			// Per-segment copy: handing sub-slices of buf to the store
-			// would pin the whole span for as long as any one segment
-			// stays resident.
+			// Per-segment copy (Put draws a slab buffer per segment):
+			// handing sub-slices of buf to the store would pin the whole
+			// span for as long as any one segment stays resident.
 			if perr := dst.Put(id, buf[pos:end]); perr != nil {
 				errs[k] = fmt.Errorf("ioclient: coalesced fetch %v into %s: %w", id, dst.Name(), perr)
 			} else {
@@ -175,6 +179,9 @@ func (c *Client) FetchMany(file string, first int64, sizes []int64, dst *tiers.S
 			}
 			pos += sizes[k]
 		}
+		// The span buffer was split into per-segment slab buffers above;
+		// return it to its pool for the next coalesced run.
+		tiers.SlabPut(buf)
 		c.bytes.Add(put)
 		if c.tele != nil {
 			d := time.Since(start)
@@ -195,26 +202,28 @@ func (c *Client) Transfer(id seg.ID, src, dst *tiers.Store) error {
 	if c.tele != nil {
 		start = time.Now()
 	}
-	payload, err := src.Take(id)
+	b, err := src.TakeBuf(id)
 	if err != nil {
 		return fmt.Errorf("ioclient: transfer %v from %s: %w", id, src.Name(), err)
 	}
-	// Take removed the payload from src, so this goroutine owns it:
-	// move the slice instead of re-copying it into dst (and back into
-	// src on the restore path).
-	if err := dst.PutOwned(id, payload); err != nil {
-		if rerr := src.PutOwned(id, payload); rerr != nil {
+	size := b.Len()
+	// TakeBuf handed over the store's reference: move the Buf itself —
+	// never the bytes — so a reader pinned through the move keeps one
+	// coherent refcount on one buffer.
+	if err := dst.PutBuf(id, b); err != nil {
+		if rerr := src.PutBuf(id, b); rerr != nil {
+			b.Release()
 			return fmt.Errorf("ioclient: transfer %v lost (dst %s: %v; restore %s: %w)",
 				id, dst.Name(), err, src.Name(), rerr)
 		}
 		return fmt.Errorf("ioclient: transfer %v to %s: %w", id, dst.Name(), err)
 	}
 	c.transfers.Add(1)
-	c.bytes.Add(int64(len(payload)))
+	c.bytes.Add(size)
 	if c.tele != nil {
 		d := time.Since(start)
-		c.bytesOut.With(src.Name()).Add(int64(len(payload)))
-		c.bytesIn.With(dst.Name()).Add(int64(len(payload)))
+		c.bytesOut.With(src.Name()).Add(size)
+		c.bytesIn.With(dst.Name()).Add(size)
 		c.moveHist.With(dst.Name()).Observe(int64(d))
 		c.tele.Span(telemetry.StageFetch, id.File, id.Index, dst.Name(), start, d)
 	}

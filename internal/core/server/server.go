@@ -10,6 +10,7 @@ package server
 import (
 	"bytes"
 	"encoding/gob"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -120,6 +121,7 @@ type Server struct {
 
 	stalls       atomic.Int64
 	stallRescues atomic.Int64
+	zeroCopy     atomic.Int64 // payload bytes served by reference from pinned views
 
 	started bool
 }
@@ -212,6 +214,10 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 		reg.CounterFunc("hfetch_remote_reads_total", "segment reads issued to peer nodes", s.remoteReads.Load)
 		reg.CounterFunc("hfetch_remote_serves_total", "segment reads served for peer nodes", s.remoteServes.Load)
 		reg.CounterFunc("hfetch_swept_records_total", "statistics records garbage-collected by the janitor", s.swept.Load)
+		reg.CounterFunc("hfetch_read_zero_copy_total", "payload bytes served by reference from pinned tier buffers", s.zeroCopy.Load)
+		reg.CounterFunc("hfetch_slab_hits_total", "segment buffers served from the slab free lists", tiers.SlabHits)
+		reg.CounterFunc("hfetch_slab_misses_total", "slab requests that fell back to a fresh allocation", tiers.SlabMisses)
+		reg.CounterFunc("hfetch_slab_frees_total", "segment buffers returned to the slab free lists", tiers.SlabFrees)
 		reg.GaugeFunc("hfetch_watched_files", "files with an installed watch", func() int64 {
 			return int64(s.registry.Len())
 		})
@@ -503,55 +509,43 @@ func (s *Server) serve(id seg.ID, off int64, p []byte) (n int, tier string, ok b
 	return n, tier, true
 }
 
-// ReadRange serves up to len(p) bytes of file starting at off, walking
-// every covered segment: each is read from wherever the hierarchy holds
-// it (ReadPrefetched, including the stall/rescue path) and from the PFS
-// on a miss or stale mapping. size is the caller's pinned view of the
-// file length — normally from a Stat when the request opened — so a
-// concurrent truncation cannot over-read. It returns the bytes written
-// into p plus segment-grain hit/miss counts for the caller's telemetry.
-// The buffer is caller-supplied; the path allocates nothing.
+// ReadRange serves up to len(p) bytes of file starting at off into the
+// caller's buffer, resolving the whole range's segments vectored — one
+// lock acquisition per tier — through an internal RangeView: tier hits
+// are copied once from the pinned payloads (the fill of p is this API's
+// contract; callers that can consume bytes by reference should hold a
+// RangeView via OpenRangeView instead and skip even that copy), misses
+// go through ReadPrefetched (including the stall/rescue path) and then
+// the PFS. size is the caller's pinned view of the file length —
+// normally from a Stat when the request opened — so a concurrent
+// truncation cannot over-read. It returns the bytes written into p plus
+// segment-grain hit/miss counts for the caller's telemetry. The path
+// performs no steady-state allocations (views are pooled).
 //
 //hfetch:hotpath
 func (s *Server) ReadRange(file string, size, off int64, p []byte) (n, hits, misses int, err error) {
-	want := int64(len(p))
-	if off < 0 || off >= size {
-		return 0, 0, 0, nil
-	}
-	if off+want > size {
-		want = size - off
-	}
-	var done int64
-	for done < want {
-		cur := off + done
-		id := seg.ID{File: file, Index: s.segr.IndexOf(cur)}
-		segOff := cur - id.Index*s.segr.Size()
-		segEnd := s.segr.RangeOf(id, size).End()
-		chunk := segEnd - cur
-		if chunk > want-done {
-			chunk = want - done
-		}
-		if chunk <= 0 {
+	v := s.OpenRangeView(file, size, off, int64(len(p)))
+	done := 0
+	for {
+		chunk, pinned, rerr := v.Next(p[done:])
+		if rerr == io.EOF {
 			break
 		}
-		dst := p[done : done+chunk]
-		if got, _, ok := s.ReadPrefetched(id, segOff, dst); ok && int64(got) == chunk {
-			hits++
-			done += chunk
-			continue
-		}
-		// Miss, or stale mapping (segment demoted or evicted mid-read).
-		got, _, rerr := s.fs.ReadAt(file, cur, dst)
 		if rerr != nil {
-			return int(done), hits, misses, rerr
+			hits, misses = v.Hits(), v.Misses()
+			v.Close()
+			return done, hits, misses, rerr
 		}
-		misses++
-		done += int64(got)
-		if int64(got) < chunk {
-			break
+		if pinned {
+			//lint:allow hotpath filling the caller's buffer is ReadRange's contract — the one remaining copy sits at the API boundary, not on the serve path
+			copy(p[done:], chunk)
+			tiers.CountCopied(int64(len(chunk)))
 		}
+		done += len(chunk)
 	}
-	return int(done), hits, misses, nil
+	hits, misses = v.Hits(), v.Misses()
+	v.Close()
+	return done, hits, misses, nil
 }
 
 // StallStats reports (reads that waited on an in-flight fetch, waits
@@ -595,10 +589,28 @@ func (s *Server) EnableRemote(mux *comm.Mux, dialer Dialer) {
 			return nil, err
 		}
 		s.remoteServes.Add(1)
-		buf := make([]byte, req.Len)
-		n, ok := s.ReadFromTier(req.Tier, seg.ID{File: req.File, Index: req.Idx}, req.Off, buf)
+		// Serve from a pinned view: the encoder reads the resident bytes
+		// in place (the wire encode is the single unavoidable copy), so
+		// no per-request segment buffer is allocated or filled.
+		var payload []byte
+		ok := false
+		if st, _ := s.hier.ByName(req.Tier); st != nil {
+			if b, resident := st.View(seg.ID{File: req.File, Index: req.Idx}); resident {
+				data := b.Bytes()
+				if req.Off >= 0 && req.Off < int64(len(data)) {
+					end := req.Off + int64(req.Len)
+					if end > int64(len(data)) {
+						end = int64(len(data))
+					}
+					payload = data[req.Off:end]
+					st.ChargeRead(int64(len(payload)))
+					ok = true
+				}
+				defer b.Release()
+			}
+		}
 		var out bytes.Buffer
-		if err := gob.NewEncoder(&out).Encode(remoteReadResp{OK: ok, Data: buf[:n]}); err != nil {
+		if err := gob.NewEncoder(&out).Encode(remoteReadResp{OK: ok, Data: payload}); err != nil {
 			return nil, err
 		}
 		return out.Bytes(), nil
@@ -718,3 +730,8 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 // IOStats returns the server-side read accounting (hits, misses, bytes,
 // per-tier hit counts) for every ReadPrefetched call on this node.
 func (s *Server) IOStats() *metrics.IOStats { return s.iostats }
+
+// ZeroCopyBytes returns the cumulative payload bytes this server has
+// served by reference from pinned tier buffers (no memcpy on the serve
+// path). Also exported as the hfetch_read_zero_copy_total counter.
+func (s *Server) ZeroCopyBytes() int64 { return s.zeroCopy.Load() }

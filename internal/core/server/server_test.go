@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"io"
 	"path/filepath"
 	"testing"
 	"time"
@@ -216,4 +218,116 @@ func TestPersistentMapsSurviveRestart(t *testing.T) {
 // an independent mapping table.
 func dhmNewForTest() *dhm.Map {
 	return dhm.New(dhm.Config{Name: "test-maps", Self: "n0"}, nil)
+}
+
+func TestRangeViewZeroCopyServe(t *testing.T) {
+	srv, fs := newServer(t, Config{SegmentSize: 1024, Engine: placement.Config{UpdateThreshold: 1}})
+	const size = int64(8*1024 + 100)
+	fs.Create("f", size)
+	srv.Start()
+	defer srv.Stop()
+	srv.StartEpoch("f", size)
+	for i := int64(0); i*1024 < size; i++ {
+		srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: i * 1024, Length: 1024, Time: time.Now()})
+	}
+	srv.Flush()
+
+	ref := make([]byte, size)
+	if _, _, err := fs.ReadAt("f", 0, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fully resident range: every chunk comes back pinned, the assembled
+	// bytes match the PFS, and the zero-copy ledger grows by the range.
+	zc0 := srv.zeroCopy.Load()
+	v := srv.OpenRangeView("f", size, 100, 4000)
+	dst := make([]byte, 512)
+	var got []byte
+	for {
+		chunk, pinned, err := v.Next(dst)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pinned {
+			t.Fatalf("chunk at %d not pinned despite full residency", len(got))
+		}
+		if len(chunk) > len(dst) {
+			t.Fatalf("chunk %d bytes exceeds dst cap %d (gen-check cadence)", len(chunk), len(dst))
+		}
+		got = append(got, chunk...)
+	}
+	if v.Misses() != 0 || v.Hits() == 0 {
+		t.Fatalf("hits/misses = %d/%d, want >0/0", v.Hits(), v.Misses())
+	}
+	if want := v.ZeroCopyBytes(); want != 4000 || srv.zeroCopy.Load()-zc0 != want {
+		t.Fatalf("zero-copy bytes = %d (counter delta %d), want 4000", want, srv.zeroCopy.Load()-zc0)
+	}
+	v.Close()
+	if !bytes.Equal(got, ref[100:4100]) {
+		t.Fatal("pinned range content does not match PFS reference")
+	}
+
+	// Pins survive a racing whole-file invalidation; misses after the
+	// drop fall back to the PFS.
+	v = srv.OpenRangeView("f", size, 0, size)
+	chunk, pinned, err := v.Next(dst)
+	if err != nil || !pinned {
+		t.Fatalf("first chunk: pinned=%v err=%v", pinned, err)
+	}
+	keep := chunk
+	srv.Hierarchy().DeleteFile("f")
+	if !bytes.Equal(keep, ref[:len(keep)]) {
+		t.Fatal("held chunk torn by invalidation")
+	}
+	rest := int64(len(keep))
+	for {
+		chunk, _, err := v.Next(dst)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(chunk, ref[rest:rest+int64(len(chunk))]) {
+			t.Fatalf("post-invalidation bytes diverge at %d", rest)
+		}
+		rest += int64(len(chunk))
+	}
+	if rest != size {
+		t.Fatalf("served %d bytes, want %d", rest, size)
+	}
+	v.Close()
+}
+
+func TestReadRangeMatchesPFSUnderPartialResidency(t *testing.T) {
+	srv, fs := newServer(t, Config{SegmentSize: 1024, Engine: placement.Config{UpdateThreshold: 1}})
+	const size = int64(6 * 1024)
+	fs.Create("f", size)
+	srv.Start()
+	defer srv.Stop()
+	srv.StartEpoch("f", size)
+	// Warm only even segments.
+	for i := int64(0); i < 6; i += 2 {
+		srv.PostEvent(events.Event{Op: events.OpRead, File: "f", Offset: i * 1024, Length: 1024, Time: time.Now()})
+	}
+	srv.Flush()
+
+	ref := make([]byte, size)
+	if _, _, err := fs.ReadAt("f", 0, ref); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, size)
+	n, hits, misses, err := srv.ReadRange("f", size, 0, p)
+	if err != nil || int64(n) != size {
+		t.Fatalf("ReadRange = %d, %v", n, err)
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("hits/misses = %d/%d, want both nonzero", hits, misses)
+	}
+	if !bytes.Equal(p, ref) {
+		t.Fatal("mixed hit/miss range diverges from PFS")
+	}
 }

@@ -10,9 +10,11 @@
 package gateway
 
 import (
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"hfetch/internal/events"
 	"hfetch/internal/pfs"
 	"hfetch/internal/telemetry"
+	"hfetch/internal/tiers"
 )
 
 // Config tunes the gateway. The zero value of every field selects a
@@ -98,7 +101,6 @@ type Gateway struct {
 	mux     *http.ServeMux
 	qos     *qos
 	streams *streamTable
-	bufs    sync.Pool
 
 	// mu guards the epoch table and the closed flag. It is the
 	// outermost lock of the node (see ARCHITECTURE.md "Lock ordering")
@@ -129,10 +131,6 @@ func New(srv *server.Server, cfg Config) *Gateway {
 		qos:     newQOS(cfg),
 		streams: newStreamTable(cfg.StreamWindow),
 		epochs:  make(map[string]int64),
-	}
-	g.bufs.New = func() any {
-		b := make([]byte, cfg.ChunkBytes)
-		return &b
 	}
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /files/{path...}", g.handleFile)
@@ -258,6 +256,19 @@ func (g *Gateway) handleFile(w http.ResponseWriter, r *http.Request) {
 	h.Set("ETag", etag)
 	h.Set("Content-Type", "application/octet-stream")
 
+	// Conditional GET (RFC 9110 §13.1.2): a client revalidating a cached
+	// copy whose entity tag still matches the current generation gets 304
+	// and no body is read at all — the cheapest read is no read. No
+	// access event is posted either: nothing was accessed, so the
+	// prefetching pipeline should not warm tiers for it.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		g.countCode(http.StatusNotModified)
+		w.WriteHeader(http.StatusNotModified)
+		g.ttfbHist.Observe(int64(time.Since(start)))
+		g.fullHist.Observe(int64(time.Since(start)))
+		return
+	}
+
 	rangeHdr := r.Header.Get("Range")
 	// If-Range: serve the requested range only when the validator still
 	// matches; otherwise fall back to the full representation (RFC 9110
@@ -334,30 +345,35 @@ func (g *Gateway) hint(path string, end, size int64, now time.Time) {
 	}
 }
 
-// stream copies [br.start, br.start+br.length) of path to w in chunks.
-// The file generation is pinned at fi.Version: after reading each chunk
-// and before sending it, the generation is re-checked, and on drift the
-// response is aborted (the connection is cut so the client sees an
-// incomplete transfer rather than bytes of two generations spliced
-// together — PFS contents are a pure function of the generation, so a
-// torn response is otherwise undetectable).
+// stream writes [br.start, br.start+br.length) of path to w in chunks
+// of at most ChunkBytes, served from one pinned RangeView: the range's
+// resident segments are resolved and pinned up front (one lock
+// acquisition per tier) and tier hits go to the socket straight from the
+// pinned tier buffers — zero payload copies — while misses fill a
+// slab-drawn chunk buffer via the prefetched-read/PFS path. The file
+// generation is pinned at fi.Version: before sending each chunk the
+// generation is re-checked, and on drift the response is aborted (the
+// connection is cut so the client sees an incomplete transfer rather
+// than bytes of two generations spliced together — PFS contents are a
+// pure function of the generation, so a torn response is otherwise
+// undetectable).
 func (g *Gateway) stream(w http.ResponseWriter, path string, fi pfs.FileInfo, br byteRange, start time.Time) {
-	bufp := g.bufs.Get().(*[]byte)
-	defer g.bufs.Put(bufp)
-	buf := *bufp
+	// The fallback chunk buffer comes from the slab even on the
+	// PFS-degraded path: no per-request make. Both defers also run on
+	// the abort panic, so pins and the chunk buffer are never leaked.
+	buf := tiers.SlabGet(int64(g.cfg.ChunkBytes))
+	defer tiers.SlabPut(buf)
+	v := g.srv.OpenRangeView(path, fi.Size, br.start, br.length)
+	defer v.Close()
 
 	first := true
-	hits, misses := 0, 0
 	var sent int64
 	for sent < br.length {
-		chunk := br.length - sent
-		if chunk > int64(len(buf)) {
-			chunk = int64(len(buf))
+		chunk, _, err := v.Next(buf)
+		if err == io.EOF {
+			break
 		}
-		n, h, m, err := g.srv.ReadRange(path, fi.Size, br.start+sent, buf[:chunk])
-		hits += h
-		misses += m
-		if err != nil || n == 0 {
+		if err != nil || len(chunk) == 0 {
 			g.abort()
 		}
 		if cur, serr := g.fs.Stat(path); serr != nil || cur.Version != fi.Version {
@@ -367,17 +383,39 @@ func (g *Gateway) stream(w http.ResponseWriter, path string, fi pfs.FileInfo, br
 			g.ttfbHist.Observe(int64(time.Since(start)))
 			first = false
 		}
-		if _, werr := w.Write(buf[:n]); werr != nil {
+		if _, werr := w.Write(chunk); werr != nil {
 			// Client went away; nothing more to account.
 			return
 		}
-		sent += int64(n)
-		g.bytesCtr.Add(int64(n))
+		sent += int64(len(chunk))
+		g.bytesCtr.Add(int64(len(chunk)))
 	}
-	if hits == 0 && misses > 0 {
+	if sent < br.length {
+		// The range ended early (truncated under us): never tear.
+		g.abort()
+	}
+	if v.Hits() == 0 && v.Misses() > 0 {
 		g.degradeCtr.Inc()
 	}
 	g.fullHist.Observe(int64(time.Since(start)))
+}
+
+// etagMatches reports whether the If-None-Match header value matches
+// etag: "*" matches any current representation, otherwise the
+// comma-separated list is compared entry by entry. Weak comparison
+// (RFC 9110 §8.8.3.2): a W/ prefix on either side is ignored, which is
+// correct for If-None-Match's cache-revalidation use.
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(header, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(cand), "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // abort cuts the connection without completing the response.

@@ -432,3 +432,75 @@ func TestParseRangeTable(t *testing.T) {
 }
 
 func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestConditionalGetNotModified(t *testing.T) {
+	g, _, fs := newTestNode(t, Config{})
+	const size = int64(2 * testSeg)
+	if err := fs.Create("data/cg", size); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g)
+	defer ts.Close()
+
+	get := func(inm string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("GET", ts.URL+"/files/data/cg", nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Prime: learn the current ETag.
+	resp := get("")
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag != `"g0"` {
+		t.Fatalf("ETag = %q, want %q", etag, `"g0"`)
+	}
+
+	// Matching validator (exact, list, wildcard): 304 with no body.
+	for _, inm := range []string{etag, `"stale", ` + etag, "*"} {
+		resp = get(inm)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status = %d, want 304", inm, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Fatalf("If-None-Match %q: 304 carried %d body bytes", inm, len(body))
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Fatalf("304 ETag = %q, want %q", got, etag)
+		}
+	}
+
+	// Stale validator: full response.
+	resp = get(`"g999"`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || int64(len(body)) != size {
+		t.Fatalf("stale validator: status = %d, body = %d bytes; want 200, %d",
+			resp.StatusCode, len(body), size)
+	}
+
+	// A write bumps the generation: the old validator no longer matches.
+	if _, err := fs.Write("data/cg", 0, size); err != nil {
+		t.Fatal(err)
+	}
+	resp = get(etag)
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || int64(len(body)) != size {
+		t.Fatalf("post-write revalidation: status = %d, body = %d bytes; want 200, %d",
+			resp.StatusCode, len(body), size)
+	}
+	if got := resp.Header.Get("ETag"); got != `"g1"` {
+		t.Fatalf("post-write ETag = %q, want %q", got, `"g1"`)
+	}
+}

@@ -4,6 +4,13 @@
 // is a capacity-tracked, exclusive segment cache charged against a
 // devsim.Device; a Hierarchy orders stores fast→slow and is what the
 // hierarchical data placement engine walks.
+//
+// Payloads are reference-counted (see Buf): the store holds one
+// residency reference, readers pin resident bytes with View/ReadVec and
+// serve them without copying, and eviction or overwrite merely drops the
+// store's reference — the last releaser frees the buffer back to the
+// slab allocator (slab.go), so a pinned buffer is never recycled under a
+// reader.
 package tiers
 
 import (
@@ -30,7 +37,7 @@ type Store struct {
 	capacity int64
 
 	mu   sync.RWMutex
-	data map[seg.ID][]byte
+	data map[seg.ID]*Buf
 	used int64
 
 	hits   int64
@@ -40,7 +47,7 @@ type Store struct {
 // NewStore creates a store named name with the given byte capacity whose
 // accesses are charged to dev (nil dev = free accesses).
 func NewStore(name string, capacity int64, dev *devsim.Device) *Store {
-	return &Store{name: name, dev: dev, capacity: capacity, data: make(map[seg.ID][]byte)}
+	return &Store{name: name, dev: dev, capacity: capacity, data: make(map[seg.ID]*Buf)}
 }
 
 // Name returns the tier name (e.g. "ram").
@@ -81,54 +88,54 @@ func (s *Store) Fits(size int64) bool {
 }
 
 // Put stores a segment payload, charging the device for the write. The
-// payload is copied. Returns ErrNoSpace when it does not fit; replacing
-// an existing segment accounts only the size delta.
+// payload is copied (into a slab buffer). Returns ErrNoSpace when it
+// does not fit; replacing an existing segment accounts only the size
+// delta.
 func (s *Store) Put(id seg.ID, payload []byte) error {
-	size := int64(len(payload))
-	s.mu.Lock()
-	old, had := s.data[id]
-	delta := size
-	if had {
-		delta -= int64(len(old))
-	}
-	if s.used+delta > s.capacity {
-		free := s.capacity - s.used
-		s.mu.Unlock()
-		return fmt.Errorf("%w: %s needs %d, free %d", ErrNoSpace, s.name, size, free)
-	}
-	cp := make([]byte, size)
+	cp := SlabGet(int64(len(payload)))
 	copy(cp, payload)
-	s.data[id] = cp
-	s.used += delta
-	s.mu.Unlock()
-	if s.dev != nil {
-		s.dev.Access(size)
+	if err := s.PutOwned(id, cp); err != nil {
+		SlabPut(cp)
+		return err
 	}
 	return nil
 }
 
 // PutOwned stores a segment payload without copying: the store takes
-// ownership of payload, so the caller must not retain or mutate the
-// slice afterwards. This is the data-movement hot path — ioclient's
-// fetch/transfer chain hands freshly read (or Taken) buffers straight
-// in — where Put's defensive copy would double the bytes touched.
-// Accounting and device charging match Put exactly.
+// ownership of payload, so the caller must not retain, mutate or free
+// the slice afterwards. This is the data-movement hot path — ioclient's
+// fetch chain hands freshly slab-drawn buffers straight in — where Put's
+// defensive copy would double the bytes touched. Accounting and device
+// charging match Put exactly.
 func (s *Store) PutOwned(id seg.ID, payload []byte) error {
-	size := int64(len(payload))
+	return s.PutBuf(id, NewBuf(payload))
+}
+
+// PutBuf installs a reference-counted payload, adopting the caller's
+// reference (on success the store owns it; on error the caller still
+// does). Transfers between tiers move the Buf itself so a reader pinned
+// through the move keeps one coherent refcount.
+func (s *Store) PutBuf(id seg.ID, b *Buf) error {
+	size := b.Len()
 	s.mu.Lock()
 	old, had := s.data[id]
 	delta := size
 	if had {
-		delta -= int64(len(old))
+		delta -= old.Len()
 	}
 	if s.used+delta > s.capacity {
 		free := s.capacity - s.used
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %s needs %d, free %d", ErrNoSpace, s.name, size, free)
 	}
-	s.data[id] = payload
+	s.data[id] = b
 	s.used += delta
 	s.mu.Unlock()
+	if had {
+		// The store's reference to the replaced payload; a pinned reader
+		// keeps the old bytes alive until its own release.
+		old.Release()
+	}
 	if s.dev != nil {
 		s.dev.Access(size)
 	}
@@ -139,15 +146,21 @@ func (s *Store) PutOwned(id seg.ID, payload []byte) error {
 // full segment read.
 func (s *Store) Get(id seg.ID) ([]byte, error) {
 	s.mu.RLock()
-	p, ok := s.data[id]
+	b, ok := s.data[id]
+	if ok {
+		b.Retain()
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return nil, ErrNotFound
 	}
+	p := b.Bytes()
 	cp := make([]byte, len(p))
 	copy(cp, p)
+	CountCopied(int64(len(p)))
+	b.Release()
 	if s.dev != nil {
-		s.dev.Access(int64(len(p)))
+		s.dev.Access(int64(len(cp)))
 	}
 	return cp, nil
 }
@@ -156,15 +169,22 @@ func (s *Store) Get(id seg.ID) ([]byte, error) {
 // the resident segment into p, charging the device for the bytes read.
 func (s *Store) ReadAt(id seg.ID, off int64, p []byte) (int, time.Duration, error) {
 	s.mu.RLock()
-	data, ok := s.data[id]
+	b, ok := s.data[id]
+	if ok {
+		b.Retain()
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return 0, 0, ErrNotFound
 	}
+	data := b.Bytes()
 	if off < 0 || off >= int64(len(data)) {
+		b.Release()
 		return 0, 0, fmt.Errorf("tiers: offset %d out of segment of %d bytes", off, len(data))
 	}
 	n := copy(p, data[off:])
+	CountCopied(int64(n))
+	b.Release()
 	var cost time.Duration
 	if s.dev != nil {
 		cost = s.dev.Access(int64(n))
@@ -172,37 +192,118 @@ func (s *Store) ReadAt(id seg.ID, off int64, p []byte) (int, time.Duration, erro
 	return n, cost, nil
 }
 
-// Take removes and returns the payload (used when demoting: the read
-// cost is charged, the space is freed atomically).
-func (s *Store) Take(id seg.ID) ([]byte, error) {
+// View pins the resident payload of id and returns it without copying.
+// The caller reads via Bytes and must Release exactly once; the payload
+// stays valid — even across eviction, overwrite or file invalidation —
+// until that release. No device charge is made here: callers charge the
+// bytes they actually serve (see ChargeRead).
+func (s *Store) View(id seg.ID) (*Buf, bool) {
+	s.mu.RLock()
+	b, ok := s.data[id]
+	if ok {
+		b.Retain()
+	}
+	s.mu.RUnlock()
+	return b, ok
+}
+
+// ReadVec pins every resident segment of ids under ONE lock acquisition:
+// out[i] receives the pinned view for ids[i], or stays nil when the
+// segment is not resident. The device is charged once for the total
+// pinned bytes — one vectored access instead of len(ids) seeks — which
+// is the lock- and device-level half of the zero-copy range read. The
+// caller must Release every non-nil view exactly once.
+func (s *Store) ReadVec(ids []seg.ID, out []*Buf) (found int, bytes int64) {
+	if len(ids) > len(out) {
+		ids = ids[:len(out)]
+	}
+	s.mu.RLock()
+	for i, id := range ids {
+		if b, ok := s.data[id]; ok {
+			b.Retain()
+			out[i] = b
+			found++
+			bytes += b.Len()
+		}
+	}
+	s.mu.RUnlock()
+	if found > 0 && s.dev != nil {
+		s.dev.Access(bytes)
+	}
+	return found, bytes
+}
+
+// ChargeRead charges the device for n bytes served from a pinned view
+// (View does not charge; ReadVec charges its whole batch up front).
+func (s *Store) ChargeRead(n int64) time.Duration {
+	if s.dev == nil || n <= 0 {
+		return 0
+	}
+	return s.dev.Access(n)
+}
+
+// TakeBuf removes the segment and returns its payload with the store's
+// reference transferred to the caller (used when demoting: the read cost
+// is charged, the space is freed atomically, and a reader pinned through
+// the move keeps the same refcount). The caller must either install the
+// Buf elsewhere (PutBuf) or Release it.
+func (s *Store) TakeBuf(id seg.ID) (*Buf, error) {
 	s.mu.Lock()
-	p, ok := s.data[id]
+	b, ok := s.data[id]
 	if ok {
 		delete(s.data, id)
-		s.used -= int64(len(p))
+		s.used -= b.Len()
 	}
 	s.mu.Unlock()
 	if !ok {
 		return nil, ErrNotFound
 	}
 	if s.dev != nil {
-		s.dev.Access(int64(len(p)))
+		s.dev.Access(b.Len())
 	}
-	return p, nil
+	return b, nil
+}
+
+// Take removes the segment and returns its payload as a raw slice. When
+// the store held the only reference the slice is handed over without
+// copying; a payload pinned by a concurrent reader is copied out so the
+// caller's exclusive ownership holds either way. Movement paths should
+// prefer TakeBuf, which never copies.
+func (s *Store) Take(id seg.ID) ([]byte, error) {
+	b, err := s.TakeBuf(id)
+	if err != nil {
+		return nil, err
+	}
+	if b.refs.CompareAndSwap(1, 0) {
+		// Sole owner: unwrap instead of going through Release, which
+		// would hand the bytes back to the slab.
+		data := b.data
+		b.data = nil
+		return data, nil
+	}
+	cp := make([]byte, len(b.Bytes()))
+	copy(cp, b.Bytes())
+	b.Release()
+	return cp, nil
 }
 
 // Delete drops a segment without charging the device (metadata-only
 // eviction, e.g. invalidation after a write event). Reports whether the
-// segment was resident.
+// segment was resident. A pinned payload survives until its readers
+// release; only the store's reference — and the capacity charge — go
+// now.
 func (s *Store) Delete(id seg.ID) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.data[id]
+	b, ok := s.data[id]
+	if ok {
+		delete(s.data, id)
+		s.used -= b.Len()
+	}
+	s.mu.Unlock()
 	if !ok {
 		return false
 	}
-	delete(s.data, id)
-	s.used -= int64(len(p))
+	b.Release()
 	return true
 }
 
@@ -210,16 +311,19 @@ func (s *Store) Delete(id seg.ID) bool {
 // how many were dropped.
 func (s *Store) DeleteFile(file string) int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for id, p := range s.data {
+	var dropped []*Buf
+	for id, b := range s.data {
 		if id.File == file {
 			delete(s.data, id)
-			s.used -= int64(len(p))
-			n++
+			s.used -= b.Len()
+			dropped = append(dropped, b)
 		}
 	}
-	return n
+	s.mu.Unlock()
+	for _, b := range dropped {
+		b.Release()
+	}
+	return len(dropped)
 }
 
 // Has reports whether the segment is resident.
@@ -234,7 +338,10 @@ func (s *Store) Has(id seg.ID) bool {
 func (s *Store) SizeOf(id seg.ID) int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return int64(len(s.data[id]))
+	if b, ok := s.data[id]; ok {
+		return b.Len()
+	}
+	return 0
 }
 
 // Keys returns the IDs of all resident segments (unordered).
@@ -251,9 +358,13 @@ func (s *Store) Keys() []seg.ID {
 // Clear removes everything without device charges.
 func (s *Store) Clear() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = make(map[seg.ID][]byte)
+	old := s.data
+	s.data = make(map[seg.ID]*Buf)
 	s.used = 0
+	s.mu.Unlock()
+	for _, b := range old {
+		b.Release()
+	}
 }
 
 // Hierarchy is an ordered list of tier stores, fastest first. The PFS is
