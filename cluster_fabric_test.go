@@ -2,8 +2,11 @@ package hfetch
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
+
+	"hfetch/internal/telemetry"
 )
 
 // fabricConfig returns a fast-device ClusterFabric config with only
@@ -230,4 +233,108 @@ func TestFabricNodeDeathDegradesToPFS(t *testing.T) {
 		}
 	}
 	f1.Close()
+}
+
+// TestFabricTracePropagation proves the fleet-tracing tentpole: a
+// lifecycle trace rooted on the reading node crosses the comm fabric
+// with the fetch request, the serving node records its serve span under
+// the same trace ID, and the fleet Perfetto export shows the one
+// lifecycle spanning both node lanes.
+func TestFabricTracePropagation(t *testing.T) {
+	cfg := fabricConfig(2)
+	cfg.EnableLifecycle = true
+	cfg.LifecycleSampleEvery = 1 // trace every access: the test needs determinism
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	const fsize = 16 * 4096
+	cluster.CreateFile("f", fsize)
+	for i := 0; i < 2; i++ {
+		if !cluster.ClusterNode(i).Membership().WaitView(2, 3*time.Second) {
+			t.Fatalf("node%d never saw the full view", i)
+		}
+	}
+
+	// Warm node 0's tiers, then read from node 1 so segments travel the
+	// peer fetch path carrying node 1's trace IDs.
+	c0 := cluster.Node(0).NewClient()
+	f0, _ := c0.Open("f")
+	buf := make([]byte, 4096)
+	for off := int64(0); off < fsize; off += 4096 {
+		f0.ReadAt(buf, off)
+		f0.ReadAt(buf, off)
+	}
+	cluster.Node(0).Flush()
+	f0.Close()
+
+	// The access event (and with it the lifecycle trace) is posted after
+	// a read returns, so the first pass roots the traces and the second
+	// pass's peer fetches carry them across the fabric.
+	c1 := cluster.Node(1).NewClient()
+	f1, _ := c1.Open("f")
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < fsize; off += 4096 {
+			if _, err := f1.ReadAt(buf, off); err != nil {
+				t.Fatalf("cross-node read: %v", err)
+			}
+		}
+	}
+	f1.Close()
+	reads, _ := cluster.Node(1).Server().RemoteStats()
+	if reads == 0 {
+		t.Fatal("no cross-node fetches: the trace had nothing to propagate")
+	}
+
+	var out bytes.Buffer
+	if err := cluster.FleetTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	if errs := telemetry.ValidateTraceJSON(out.Bytes()); len(errs) != 0 {
+		t.Fatalf("fleet trace fails validation: %v", errs)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  uint64 `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Nodes []string `json:"nodes"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.OtherData.Nodes) != 2 {
+		t.Fatalf("fleet export lanes = %v, want 2 nodes", doc.OtherData.Nodes)
+	}
+
+	// Index: per trace ID, which pids carry its spans and which stages
+	// appeared where.
+	pidsByTID := map[uint64]map[int]bool{}
+	stagesByTID := map[uint64]map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if pidsByTID[e.Tid] == nil {
+			pidsByTID[e.Tid] = map[int]bool{}
+			stagesByTID[e.Tid] = map[string]bool{}
+		}
+		pidsByTID[e.Tid][e.Pid] = true
+		stagesByTID[e.Tid][e.Name] = true
+	}
+	var crossNode int
+	for tid, pids := range pidsByTID {
+		if len(pids) >= 2 && stagesByTID[tid][telemetry.StageEvent] && stagesByTID[tid][telemetry.StagePeerFetchServe] {
+			crossNode++
+		}
+	}
+	if crossNode == 0 {
+		t.Fatalf("no trace ID spans two node lanes with event + peer_fetch_serve stages (traces: %d)", len(pidsByTID))
+	}
 }

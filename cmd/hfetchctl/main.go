@@ -63,15 +63,38 @@ func main() {
 		fmt.Printf("remote traffic  %d reads issued, %d served\n", st.RemoteReads, st.RemoteServes)
 		fmt.Printf("server I/O      %s\n", st.IO)
 	case "metrics":
-		snap, err := c.Metrics()
-		if err != nil {
-			log.Fatalf("hfetchctl: %v", err)
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		fleet := fs.Bool("fleet", false, "merge metrics from every reachable cluster member")
+		fs.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		raw := fs.NArg() > 0 && fs.Arg(0) == "raw"
+		var snap telemetry.Snapshot
+		if *fleet {
+			nodes, stale, err := fleetMetrics(c)
+			if err != nil {
+				log.Fatalf("hfetchctl: %v", err)
+			}
+			snaps := make([]telemetry.Snapshot, 0, len(nodes))
+			for _, fn := range nodes {
+				snaps = append(snaps, fn.Snap)
+			}
+			snap = telemetry.MergeSnapshots(snaps...)
+			fmt.Printf("# fleet: %d nodes merged", len(nodes))
+			if len(stale) > 0 {
+				fmt.Printf(", stale_nodes: %s", strings.Join(stale, ","))
+			}
+			fmt.Println()
+		} else {
+			var err error
+			snap, err = c.Metrics()
+			if err != nil {
+				log.Fatalf("hfetchctl: %v", err)
+			}
 		}
 		if len(snap.Metrics) == 0 {
 			fmt.Println("no metrics (daemon runs with telemetry disabled)")
 			return
 		}
-		if len(args) > 1 && args[1] == "raw" {
+		if raw {
 			snap.WriteText(os.Stdout)
 			return
 		}
@@ -108,8 +131,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("hfetchctl: %v", err)
 		}
-		fmt.Printf("%-12s %-22s %-8s %12s %10s %12s\n",
-			"NODE", "ADDR", "STATE", "HEARTBEAT", "KEYS", "FETCH P99")
+		fmt.Printf("%-12s %-22s %-22s %-8s %12s %10s %12s\n",
+			"NODE", "ADDR", "OPS", "STATE", "HEARTBEAT", "KEYS", "FETCH P99")
 		for _, n := range nodes {
 			hb := "-"
 			if n.HeartbeatAgeNanos > 0 {
@@ -119,15 +142,25 @@ func main() {
 			if n.FetchP99Nanos > 0 {
 				p99 = time.Duration(n.FetchP99Nanos).Round(time.Microsecond).String()
 			}
-			fmt.Printf("%-12s %-22s %-8s %12s %10d %12s\n",
-				n.Name, ellipsis(n.Addr, 22), n.State, hb, n.Keys, p99)
+			fmt.Printf("%-12s %-22s %-22s %-8s %12s %10d %12s\n",
+				n.Name, ellipsis(n.Addr, 22), ellipsis(orDash(n.Ops), 22), n.State, hb, n.Keys, p99)
 		}
 	case "trace":
 		fs := flag.NewFlagSet("trace", flag.ExitOnError)
 		csv := fs.Bool("csv", false, "export the access-record CSV instead of trace JSON")
+		fleet := fs.Bool("fleet", false, "merge lifecycle traces from every reachable member (one Perfetto lane per node)")
 		out := fs.String("o", "", "write to file instead of stdout")
 		fs.Parse(args[1:]) //nolint:errcheck // ExitOnError
-		data, err := c.Trace(*csv)
+		var data []byte
+		var err error
+		if *fleet {
+			if *csv {
+				log.Fatalf("hfetchctl: -fleet and -csv are mutually exclusive")
+			}
+			data, err = fleetTrace(c)
+		} else {
+			data, err = c.Trace(*csv)
+		}
 		if err != nil {
 			log.Fatalf("hfetchctl: %v", err)
 		}
@@ -147,8 +180,13 @@ func main() {
 		fs := flag.NewFlagSet("top", flag.ExitOnError)
 		interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 		count := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+		fleet := fs.Bool("fleet", false, "merge the view across every reachable cluster member")
 		fs.Parse(args[1:]) //nolint:errcheck // ExitOnError
-		runTop(c, *addr, *interval, *count)
+		if *fleet {
+			runTopFleet(c, *addr, *interval, *count)
+		} else {
+			runTop(c, *addr, *interval, *count)
+		}
 	case "create":
 		if len(args) != 3 {
 			usage()
@@ -280,6 +318,152 @@ func runTop(c *remote.Client, addr string, interval time.Duration, count int) {
 	}
 }
 
+// fleetNode is one member's telemetry snapshot in a fleet fan-out.
+type fleetNode struct {
+	Name string
+	Snap telemetry.Snapshot
+}
+
+// fleetDial runs fn against every member of the primary daemon's
+// membership view, fanning out over the gossiped ops addresses. Members
+// that are dead, have no ops address, or fail the dial/request land in
+// stale — a partial fleet view with the gaps named beats no view.
+func fleetDial(c *remote.Client, fn func(name string, fc *remote.Client) error) (stale []string, err error) {
+	nodes, err := c.Nodes()
+	if err != nil {
+		return nil, fmt.Errorf("membership query: %w", err)
+	}
+	for _, n := range nodes {
+		if n.State == "dead" || n.Ops == "" {
+			stale = append(stale, n.Name)
+			continue
+		}
+		fc, derr := remote.Dial(n.Ops)
+		if derr != nil {
+			stale = append(stale, n.Name)
+			continue
+		}
+		ferr := fn(n.Name, fc)
+		fc.Close() //nolint:errcheck // read-only connection
+		if ferr != nil {
+			stale = append(stale, n.Name)
+		}
+	}
+	sort.Strings(stale)
+	return stale, nil
+}
+
+// fleetMetrics fans the metrics query out across the membership.
+func fleetMetrics(c *remote.Client) (nodes []fleetNode, stale []string, err error) {
+	stale, err = fleetDial(c, func(name string, fc *remote.Client) error {
+		snap, merr := fc.Metrics()
+		if merr != nil {
+			return merr
+		}
+		nodes = append(nodes, fleetNode{Name: name, Snap: snap})
+		return nil
+	})
+	return nodes, stale, err
+}
+
+// fleetTrace assembles the fleet-merged Perfetto export: every
+// reachable member's raw lifecycle records on its own process lane.
+func fleetTrace(c *remote.Client) ([]byte, error) {
+	var lanes []telemetry.NodeTraces
+	stale, err := fleetDial(c, func(name string, fc *remote.Client) error {
+		node, recs, terr := fc.TraceRecords()
+		if terr != nil {
+			return terr
+		}
+		if node == "" {
+			node = name
+		}
+		lanes = append(lanes, telemetry.NodeTraces{Node: node, Recs: recs})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "hfetchctl: stale_nodes: %s\n", strings.Join(stale, ","))
+	}
+	var buf strings.Builder
+	if err := telemetry.WriteFleetTraceJSON(&buf, lanes); err != nil {
+		return nil, err
+	}
+	return []byte(buf.String()), nil
+}
+
+// runTopFleet renders the refreshing fleet view: cluster-merged hit
+// ratio and prefetch effectiveness, then one breakdown row per member.
+// Unreachable members are listed as stale instead of aborting the view.
+func runTopFleet(c *remote.Client, addr string, interval time.Duration, count int) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		nodes, stale, err := fleetMetrics(c)
+		if err != nil {
+			log.Fatalf("hfetchctl: %v", err)
+		}
+		snaps := make([]telemetry.Snapshot, 0, len(nodes))
+		for _, fn := range nodes {
+			snaps = append(snaps, fn.Snap)
+		}
+		merged := telemetry.MergeSnapshots(snaps...)
+
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Printf("hfetch top — fleet via %s — %s (refresh %v, ctrl-c to quit)\n\n",
+			addr, time.Now().Format("15:04:05"), interval)
+
+		hits := metricSum(merged, "hfetch_tier_read_hits_total")
+		misses := metricSum(merged, "hfetch_read_misses_total")
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("fleet      nodes %-4d hits %-10d misses %-10d hit ratio %.3f\n",
+			len(nodes), hits, misses, ratio)
+		timely := metricSum(merged, "hfetch_prefetch_timely_total")
+		late := metricSum(merged, "hfetch_prefetch_late_total")
+		wasted := metricSum(merged, "hfetch_prefetch_wasted_total")
+		redundant := metricSum(merged, "hfetch_prefetch_redundant_total")
+		if total := timely + late + wasted + redundant; total > 0 {
+			fmt.Printf("prefetch   timely %-8d late %-8d wasted %-8d redundant %-8d effectiveness %.1f%%\n",
+				timely, late, wasted, redundant, 100*float64(timely)/float64(total))
+		}
+		fmt.Printf("routing    shipped %-8d received %-8d peer fetches %d   watchdog trips %d\n\n",
+			metricSum(merged, "hfetch_cluster_updates_routed_total"),
+			metricSum(merged, "hfetch_cluster_updates_received_total"),
+			metricSum(merged, "hfetch_remote_reads_total"),
+			metricSum(merged, "hfetch_watchdog_trips_total"))
+
+		fmt.Printf("%-12s %10s %10s %8s %8s %8s %9s %10s\n",
+			"NODE", "HITS", "MISSES", "RATIO", "TIMELY", "LATE", "EFFECT%", "GW-REQS")
+		for _, fn := range nodes {
+			nh := metricSum(fn.Snap, "hfetch_tier_read_hits_total")
+			nm := metricSum(fn.Snap, "hfetch_read_misses_total")
+			nr := 0.0
+			if nh+nm > 0 {
+				nr = float64(nh) / float64(nh+nm)
+			}
+			nt := metricSum(fn.Snap, "hfetch_prefetch_timely_total")
+			nl := metricSum(fn.Snap, "hfetch_prefetch_late_total")
+			eff := float64(metricSum(fn.Snap, "hfetch_prefetch_effectiveness_ppm")) / 1e4
+			fmt.Printf("%-12s %10d %10d %8.3f %8d %8d %8.1f%% %10d\n",
+				fn.Name, nh, nm, nr, nt, nl, eff,
+				metricSum(fn.Snap, "hfetch_gateway_requests_total"))
+		}
+		if len(stale) > 0 {
+			fmt.Printf("\nstale_nodes: %s (dead, no ops address, or unreachable)\n",
+				strings.Join(stale, ","))
+		}
+	}
+}
+
 // metricSum sums all series of one metric family across labels.
 func metricSum(snap telemetry.Snapshot, name string) int64 {
 	var v int64
@@ -396,10 +580,10 @@ commands:
   stats                     show server counters
   tiers                     show tier occupancy
   nodes                     show cluster membership (state, heartbeat age, keys, fetch p99)
-  metrics [raw]             show telemetry (raw = Prometheus text)
+  metrics [-fleet] [raw]    show telemetry (raw = Prometheus text; -fleet merges all members)
   spans                     show sampled pipeline spans
-  trace [-csv] [-o file]    export lifecycle traces (Perfetto JSON; -csv = access log)
-  top [-interval d] [-n k]  live status view (hit ratio, tiers, mover, gateway, effectiveness)
+  trace [-csv|-fleet] [-o file]  export lifecycle traces (Perfetto JSON; -fleet = one lane per node)
+  top [-interval d] [-n k] [-fleet]  live status view (hit ratio, tiers, mover, gateway, effectiveness)
   create <name> <size>      register a synthetic file
   read <name> <off> <len>   read through the prefetcher`)
 	os.Exit(2)

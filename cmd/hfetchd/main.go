@@ -57,6 +57,9 @@ func main() {
 	fetchWaitMS := flag.Float64("fetch-wait-ms", -1, "bounded read wait for an in-flight fetch in ms (-1 = config/default 2)")
 	streamDetect := flag.Bool("stream-detect", true, "detect sequential gateway streams and post readahead hints")
 	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant gateway admission rate in req/s (0 = unlimited)")
+	disableWatchdog := flag.Bool("disable-watchdog", false, "turn off the stall watchdog")
+	watchdogStallMS := flag.Int("watchdog-stall-ms", 0, "stall window before the watchdog trips in ms (0 = config/default 5000)")
+	watchdogDir := flag.String("watchdog-dir", "", "directory for watchdog diagnostic bundles (default working directory)")
 	logLevel := flag.String("log-level", "", "minimum log level: debug, info, warn, error (default config/info)")
 	logFormat := flag.String("log-format", "", "log encoding: text or json (default config/text)")
 	flag.Parse()
@@ -118,6 +121,12 @@ func main() {
 			cfg.StreamDetect = *streamDetect
 		case "tenant-rps":
 			cfg.TenantRPS = *tenantRPS
+		case "disable-watchdog":
+			cfg.DisableWatchdog = *disableWatchdog
+		case "watchdog-stall-ms":
+			cfg.WatchdogStallMS = *watchdogStallMS
+		case "watchdog-dir":
+			cfg.WatchdogDir = *watchdogDir
 		case "log-level":
 			cfg.LogLevel = *logLevel
 		case "log-format":
@@ -142,6 +151,7 @@ func main() {
 		if err != nil {
 			fail(logger, "peer listen", err)
 		}
+		peerSrv.SetStats(d.cnode.CommStats())
 		defer peerSrv.Close()
 		d.cnode.Start()
 		defer d.cnode.Stop()
@@ -174,11 +184,65 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Stall watchdog: probes every pipeline that can wedge (event shards,
+	// mover, membership, and the gateway below), dumps a diagnostic
+	// bundle when one stops progressing with work pending.
+	var wd *telemetry.Watchdog
+	if reg := d.srv.Telemetry(); reg != nil && !cfg.DisableWatchdog {
+		wd = telemetry.NewWatchdog(telemetry.WatchdogConfig{
+			Stall:      cfg.WatchdogStall(),
+			Dir:        cfg.WatchdogDir,
+			MaxBundles: cfg.WatchdogMaxBundles,
+			Registry:   reg,
+		})
+	}
+	if wd != nil {
+		mon := d.srv.Monitor()
+		wd.AddProbe(telemetry.WatchdogProbe{
+			Name:     "monitor",
+			Pending:  func() int64 { return int64(mon.Backlog()) },
+			Progress: mon.Consumed,
+		})
+		eng := d.srv.Engine()
+		wd.AddProbe(telemetry.WatchdogProbe{
+			Name:    "mover",
+			Pending: func() int64 { return int64(eng.MoverStats().Outstanding) },
+			Progress: func() int64 {
+				ms := eng.MoverStats()
+				return ms.Executed + ms.Failed + ms.Cancelled + ms.Superseded
+			},
+		})
+		wd.AddDump("mover", func() string {
+			ms := eng.MoverStats()
+			return fmt.Sprintf("submitted=%d executed=%d failed=%d coalesced=%d superseded=%d cancelled=%d retried=%d outstanding=%d queue_depths=%v",
+				ms.Submitted, ms.Executed, ms.Failed, ms.Coalesced, ms.Superseded, ms.Cancelled, ms.Retried, ms.Outstanding, ms.QueueDepths)
+		})
+		if d.cnode != nil {
+			mem := d.cnode.Membership()
+			wd.AddProbe(telemetry.WatchdogProbe{
+				Name:     "membership",
+				Pending:  mem.SuspectCount,
+				Progress: mem.HeartbeatsSent,
+			})
+		}
+	}
+
 	var httpSrv *http.Server
 	var gw *gateway.Gateway
 	httpErr := make(chan error, 1)
 	if cfg.HTTPListen != "" {
-		gw = gateway.New(d.srv, gatewayConfig(cfg, d.srv))
+		gcfg := gatewayConfig(cfg, d.srv)
+		if cfg.SlogLevel() <= slog.LevelDebug {
+			gcfg.Logger = logger
+		}
+		gw = gateway.New(d.srv, gcfg)
+		if wd != nil {
+			wd.AddProbe(telemetry.WatchdogProbe{
+				Name:     "gateway",
+				Pending:  gw.InflightNow,
+				Progress: gw.Completed,
+			})
+		}
 		root := http.NewServeMux()
 		root.Handle("/files/", gw)
 		root.Handle("/", remote.NewHTTPHandler(d.srv))
@@ -198,6 +262,10 @@ func main() {
 				httpErr <- err
 			}
 		}()
+	}
+	if wd != nil {
+		wd.Start()
+		defer wd.Stop()
 	}
 
 	select {
@@ -265,7 +333,7 @@ type daemon struct {
 // self row otherwise.
 func (d *daemon) nodeInfos() []remote.NodeInfo {
 	if d.cnode == nil {
-		return []remote.NodeInfo{{Name: d.cfg.Node, Addr: d.cfg.Listen, State: "alive"}}
+		return []remote.NodeInfo{{Name: d.cfg.Node, Addr: d.cfg.Listen, Ops: d.cfg.Listen, State: "alive"}}
 	}
 	infos := d.cnode.Infos()
 	out := make([]remote.NodeInfo, 0, len(infos))
@@ -273,6 +341,7 @@ func (d *daemon) nodeInfos() []remote.NodeInfo {
 		out = append(out, remote.NodeInfo{
 			Name:              mi.Name,
 			Addr:              mi.Addr,
+			Ops:               mi.Ops,
 			State:             mi.State,
 			HeartbeatAgeNanos: int64(mi.HeartbeatAge),
 			Keys:              mi.Keys,
@@ -342,9 +411,14 @@ func build(cfg config.Config) (*daemon, error) {
 		reqTimeout := cfg.PeerRequestTimeout()
 		d.peerMux = comm.NewMux()
 		d.peerMux.RegisterPing()
+		// One comm.Stats instance per registry: cluster.New builds its own
+		// from the same registry, and duplicate registration returns the
+		// same underlying series, so both count into one family.
+		cstats := comm.NewStats(reg)
 		d.cnode = cluster.New(cluster.Config{
 			Self:              cfg.Node,
 			Addr:              cfg.PeerListen,
+			Ops:               cfg.Listen,
 			Seeds:             cfg.Seeds,
 			HeartbeatInterval: hb,
 			SuspectAfter:      suspect,
@@ -355,6 +429,7 @@ func build(cfg config.Config) (*daemon, error) {
 					DialTimeout:    reqTimeout,
 					RequestTimeout: reqTimeout,
 					DialAttempts:   2,
+					Stats:          cstats,
 				})
 			},
 			Telemetry: reg,

@@ -57,10 +57,16 @@ type summary struct {
 	TTFBP50us float64 `json:"ttfb_p50_us"`
 	TTFBP99us float64 `json:"ttfb_p99_us"`
 	// Timely/Late/Wasted are the daemon's prefetch lifecycle counters
-	// scraped after the run (-1 when /metrics was unreachable).
+	// scraped after the run (-1 when /metrics was unreachable). With
+	// -targets they are summed across every reachable target daemon.
 	Timely int64 `json:"prefetch_timely_total"`
 	Late   int64 `json:"prefetch_late_total"`
 	Wasted int64 `json:"prefetch_wasted_total"`
+	// ScrapedNodes counts the -targets daemons that answered the
+	// post-run metrics scrape; StaleTargets names the ones that did not.
+	// Both are omitted in single-target runs.
+	ScrapedNodes int      `json:"scraped_nodes,omitempty"`
+	StaleTargets []string `json:"stale_targets,omitempty"`
 }
 
 func main() {
@@ -72,6 +78,7 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to drive load")
 	workers := flag.Int("workers", 8, "concurrent client goroutines")
 	tenant := flag.String("tenant", "", "X-Tenant header value (empty: default tenant)")
+	targets := flag.String("targets", "", "comma-separated daemon ctl addresses; after the run their telemetry snapshots are scraped and merged (fleet runs)")
 	minTimely := flag.Int64("min-timely", -1, "fail unless hfetch_prefetch_timely_total reaches this after the run (negative disables)")
 	out := flag.String("out", "", "write the JSON summary to this path as well as stdout")
 	flag.Parse()
@@ -142,7 +149,11 @@ func main() {
 	hist := ttfb.Snapshot()
 	s.TTFBP50us = float64(hist.Quantile(0.50)) / 1e3
 	s.TTFBP99us = float64(hist.Quantile(0.99)) / 1e3
-	s.Timely, s.Late, s.Wasted = scrapePrefetch(base)
+	if *targets != "" {
+		s.Timely, s.Late, s.Wasted, s.ScrapedNodes, s.StaleTargets = scrapeTargets(*targets)
+	} else {
+		s.Timely, s.Late, s.Wasted = scrapePrefetch(base)
+	}
 
 	raw, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
@@ -239,6 +250,49 @@ func drive(w int, base, name string, size, chunk int64, tenant string, deadline 
 		}
 	}
 	return local, nil
+}
+
+// scrapeTargets dials every -targets ctl address, fetches each daemon's
+// telemetry snapshot, and merges them into one fleet view; the prefetch
+// counters come out of the merged snapshot. Unreachable targets are
+// reported, not fatal: a fleet run should survive one dead member.
+func scrapeTargets(list string) (timely, late, wasted int64, scraped int, stale []string) {
+	timely, late, wasted = -1, -1, -1
+	var snaps []telemetry.Snapshot
+	for _, addr := range strings.Split(list, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := remote.Dial(addr)
+		if err != nil {
+			stale = append(stale, addr)
+			continue
+		}
+		snap, err := c.Metrics()
+		c.Close() //nolint:errcheck // read-only connection
+		if err != nil {
+			stale = append(stale, addr)
+			continue
+		}
+		snaps = append(snaps, snap)
+		scraped++
+	}
+	if scraped == 0 {
+		return timely, late, wasted, scraped, stale
+	}
+	merged := telemetry.MergeSnapshots(snaps...)
+	sum := func(name string) int64 {
+		var v int64
+		for _, m := range merged.Metrics {
+			if m.Name == name && m.Hist == nil {
+				v += m.Value
+			}
+		}
+		return v
+	}
+	return sum("hfetch_prefetch_timely_total"), sum("hfetch_prefetch_late_total"),
+		sum("hfetch_prefetch_wasted_total"), scraped, stale
 }
 
 // scrapePrefetch reads the daemon's Prometheus text endpoint and pulls

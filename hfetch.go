@@ -2,6 +2,7 @@ package hfetch
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -369,17 +370,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if fabric {
 			dialAddr := func(addr string) (comm.Peer, error) { return net.Dial(addr), nil }
 			if useTCP {
+				cstats := comm.NewStats(reg)
 				dialAddr = func(addr string) (comm.Peer, error) {
 					return comm.DialTCPOpts(addr, comm.PeerOptions{
 						DialTimeout:    time.Second,
 						RequestTimeout: 2 * time.Second,
 						DialAttempts:   2,
+						Stats:          cstats,
 					})
 				}
+				tcpSrvs[i].SetStats(cstats)
 			}
 			cn = cluster.New(cluster.Config{
 				Self:              names[i],
 				Addr:              static[names[i]],
+				Ops:               static[names[i]],
 				Static:            static,
 				HeartbeatInterval: cfg.ClusterHeartbeat,
 				Mux:               mux,
@@ -530,6 +535,21 @@ func (c *Cluster) TelemetrySnapshot() (telemetry.Snapshot, bool) {
 		}
 	}
 	return out, any
+}
+
+// FleetTrace writes the fleet-merged Perfetto trace: every node's
+// lifecycle records on its own process lane, so a segment whose
+// lifecycle crossed nodes (event on one, fetch served by another) shows
+// its spans side by side under one trace ID. Requires EnableLifecycle;
+// with it off the export is empty but valid.
+func (c *Cluster) FleetTrace(w io.Writer) error {
+	lanes := make([]telemetry.NodeTraces, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if lc := n.srv.Telemetry().Lifecycle(); lc != nil {
+			lanes = append(lanes, telemetry.NodeTraces{Node: n.name, Recs: lc.Export()})
+		}
+	}
+	return telemetry.WriteFleetTraceJSON(w, lanes)
 }
 
 // Name returns the node's cluster name.

@@ -9,10 +9,12 @@
 // delegation to another method of the same receiver. This is what makes
 // a disabled (nil) registry free to call from anywhere.
 //
-// Rule B — outside the telemetry package: a method call on a
-// *telemetry.Lifecycle value must sit behind the established call-site
-// gate, because the tracer is fetched through an atomic pointer and the
-// idiom skips argument construction when tracing is off:
+// Rule B — outside the telemetry package: a method call on a gated
+// type (*telemetry.Lifecycle, *telemetry.Watchdog) must sit behind the
+// established call-site gate. The lifecycle tracer is fetched through
+// an atomic pointer and the idiom skips argument construction when
+// tracing is off; the watchdog is nil when disabled, and gating keeps
+// probe closures from being built for nothing:
 //
 //	if lc := reg.Lifecycle(); lc != nil { lc.OnReadHit(...) }
 //
@@ -48,9 +50,9 @@ func DefaultConfig() Config {
 		Pkg: "hfetch/internal/telemetry",
 		NilSafe: []string{
 			"Registry", "Lifecycle", "Counter", "Gauge", "Histogram",
-			"SpanLog", "AccessLog", "CounterVec", "HistVec",
+			"SpanLog", "AccessLog", "CounterVec", "HistVec", "Watchdog",
 		},
-		Gated: []string{"Lifecycle"},
+		Gated: []string{"Lifecycle", "Watchdog"},
 	}
 }
 

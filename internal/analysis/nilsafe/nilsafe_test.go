@@ -9,8 +9,8 @@ import (
 func fixtureConfig() Config {
 	return Config{
 		Pkg:     "hfetch/internal/analysis/nilsafe/testdata/src/nilfixture",
-		NilSafe: []string{"Reg", "Tracer"},
-		Gated:   []string{"Tracer"},
+		NilSafe: []string{"Reg", "Tracer", "Guard"},
+		Gated:   []string{"Tracer", "Guard"},
 	}
 }
 

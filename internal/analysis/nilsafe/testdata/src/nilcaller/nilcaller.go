@@ -44,3 +44,27 @@ func waived(r *nilfixture.Reg) {
 func regDirect(r *nilfixture.Reg) {
 	r.Good()
 }
+
+// Guard is gated too: the same call-site rules apply to the second
+// entry in the gated-type list.
+func guardUngated(r *nilfixture.Reg) {
+	g := r.Guard()
+	g.Arm() // want `call to Guard.Arm outside a nil gate`
+}
+
+func guardUnbound(r *nilfixture.Reg) {
+	r.Guard().Arm() // want `call to Guard.Arm on an unbound expression`
+}
+
+func guardGated(r *nilfixture.Reg) {
+	if g := r.Guard(); g != nil {
+		g.Arm()
+	}
+}
+
+func guardGatedEarly(g *nilfixture.Guard) {
+	if g == nil {
+		return
+	}
+	g.Arm()
+}

@@ -63,3 +63,28 @@ func (t *Tracer) Waived() {
 func (t *Tracer) bump() {
 	t.n++
 }
+
+// Guard stands in for the stall watchdog: a second gated type, nil
+// when the feature is disabled.
+type Guard struct{ trips int64 }
+
+// Guard returns the gated watchdog stand-in (nil when disabled).
+func (r *Reg) Guard() *Guard {
+	if r == nil {
+		return nil
+	}
+	return &Guard{}
+}
+
+// Arm guards first, like every nil-safe method.
+func (g *Guard) Arm() {
+	if g == nil {
+		return
+	}
+	g.trips++
+}
+
+// BadArm dereferences an unguarded receiver.
+func (g *Guard) BadArm() { // want `exported method Guard.BadArm must nil-check the receiver`
+	g.trips++
+}

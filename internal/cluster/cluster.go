@@ -18,6 +18,10 @@ type Config struct {
 	// name on an in-process network).
 	Self string
 	Addr string
+	// Ops is this node's operator-facing (agent/ctl) address, gossiped
+	// to peers so fleet views (hfetchctl -fleet) can fan out without
+	// static configuration ("" when none).
+	Ops string
 	// Seeds are peer addresses contacted to join an existing cluster.
 	Static map[string]string
 	Seeds  []string
@@ -49,10 +53,11 @@ type Config struct {
 //	n.Attach(srv, stats, maps)      // install fetcher, router, rebalance
 //	n.Start()                       // join seeds, begin heartbeats
 type Node struct {
-	cfg    Config
-	mem    *Membership
-	health *comm.Health
-	fetch  *Fetcher
+	cfg       Config
+	mem       *Membership
+	health    *comm.Health
+	fetch     *Fetcher
+	commStats *comm.Stats
 
 	mu    sync.Mutex
 	stats *dhm.Map
@@ -71,9 +76,12 @@ func New(cfg Config) *Node {
 		thr = comm.DefaultHealthThreshold
 	}
 	n.health = comm.NewHealth(thr)
+	n.commStats = comm.NewStats(cfg.Telemetry)
+	n.health.SetStats(n.commStats)
 	n.mem = NewMembership(MembershipConfig{
 		Self:              cfg.Self,
 		Addr:              cfg.Addr,
+		Ops:               cfg.Ops,
 		Seeds:             cfg.Seeds,
 		Static:            cfg.Static,
 		HeartbeatInterval: cfg.HeartbeatInterval,
@@ -82,6 +90,7 @@ func New(cfg Config) *Node {
 		Dial:              cfg.DialAddr,
 		Keys:              n.keyCount,
 		Health:            n.health,
+		Stats:             n.commStats,
 		OnChange:          n.onViewChange,
 		Telemetry:         cfg.Telemetry,
 	}, cfg.Mux)
@@ -136,6 +145,11 @@ func (n *Node) Fetcher() *Fetcher { return n.fetch }
 // Health exposes the shared per-peer health tracker.
 func (n *Node) Health() *comm.Health { return n.health }
 
+// CommStats exposes the transport instrumentation handle (nil when
+// telemetry is off), for callers that dial their own peers or host a
+// comm server and want those paths counted into the same families.
+func (n *Node) CommStats() *comm.Stats { return n.commStats }
+
 // RebalanceStats reports (view-change rebalances run, keys migrated).
 func (n *Node) RebalanceStats() (rebalances, keys int64) {
 	return n.rebalances.Load(), n.keysMigrated.Load()
@@ -182,6 +196,7 @@ func (n *Node) onViewChange(view []string) {
 type MemberInfo struct {
 	Name         string
 	Addr         string
+	Ops          string
 	State        string
 	HeartbeatAge time.Duration
 	Keys         int64
@@ -198,6 +213,7 @@ func (n *Node) Infos() []MemberInfo {
 		mi := MemberInfo{
 			Name:         m.Name,
 			Addr:         m.Addr,
+			Ops:          m.Ops,
 			State:        m.State.String(),
 			HeartbeatAge: m.HeartbeatAge,
 			Keys:         m.Keys,

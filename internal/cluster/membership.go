@@ -63,6 +63,9 @@ func (s State) String() string {
 type Member struct {
 	Name string
 	Addr string
+	// Ops is the member's operator-facing (agent/ctl) address, gossiped
+	// so fleet views can fan out metric scrapes without static config.
+	Ops string
 	// State is derived from HeartbeatAge at snapshot time.
 	State State
 	// Incarnation distinguishes restarts of the same node name.
@@ -79,6 +82,10 @@ type MembershipConfig struct {
 	// Self and Addr identify this node; Addr must be dialable by peers.
 	Self string
 	Addr string
+	// Ops is this node's operator-facing (agent/ctl) address, gossiped
+	// in heartbeats so any member can enumerate the fleet's scrape
+	// endpoints ("" when the node has none).
+	Ops string
 	// Seeds are peer addresses probed until their members are learned.
 	Seeds []string
 	// Static pre-seeds the member table (the emulated cluster boots all
@@ -95,8 +102,13 @@ type MembershipConfig struct {
 	// Keys reports this node's owned-key count for heartbeat payloads
 	// (nil reports 0).
 	Keys func() int64
-	// Health, when non-nil, records probe outcomes.
+	// Health, when non-nil, records probe outcomes. Its snapshot is also
+	// piggybacked on outgoing heartbeats, so every member learns how the
+	// fleet's links look from every other member's vantage point.
 	Health *comm.Health
+	// Stats, when non-nil, instruments the peer connections this agent
+	// dials (request latency, timeouts).
+	Stats *comm.Stats
 	// OnChange is invoked (outside all membership locks, on the
 	// heartbeat goroutine) whenever the non-dead view changes, with the
 	// sorted member names. This is where the cluster node rebalances its
@@ -110,6 +122,7 @@ type MembershipConfig struct {
 type memberState struct {
 	name        string
 	addr        string
+	ops         string
 	incarnation uint64
 	lastSeen    time.Time
 	keys        int64
@@ -124,9 +137,10 @@ type memberState struct {
 type Membership struct {
 	cfg MembershipConfig
 
-	mu      sync.RWMutex
-	members map[string]*memberState
-	view    []string // last view OnChange fired with (sorted, non-dead)
+	mu           sync.RWMutex
+	members      map[string]*memberState
+	view         []string                     // last view OnChange fired with (sorted, non-dead)
+	remoteHealth map[string][]comm.PeerHealth // sender -> piggybacked link health
 
 	peerMu sync.Mutex
 	peers  map[string]comm.Peer // by address
@@ -151,6 +165,7 @@ const MsgHeartbeat = "cluster.hb"
 type wireMember struct {
 	Name        string
 	Addr        string
+	Ops         string
 	Incarnation uint64
 	Keys        int64
 }
@@ -158,6 +173,9 @@ type wireMember struct {
 type hbMsg struct {
 	From    wireMember
 	Members []wireMember
+	// Health is the sender's per-peer link health snapshot, piggybacked
+	// so the fleet's pairwise link view is observable from any member.
+	Health []comm.PeerHealth
 }
 
 type hbResp struct {
@@ -180,14 +198,15 @@ func NewMembership(cfg MembershipConfig, mux *comm.Mux) *Membership {
 		}
 	}
 	m := &Membership{
-		cfg:         cfg,
-		members:     make(map[string]*memberState),
-		peers:       make(map[string]comm.Peer),
-		incarnation: uint64(time.Now().UnixNano()),
+		cfg:          cfg,
+		members:      make(map[string]*memberState),
+		remoteHealth: make(map[string][]comm.PeerHealth),
+		peers:        make(map[string]comm.Peer),
+		incarnation:  uint64(time.Now().UnixNano()),
 	}
 	now := time.Now()
 	m.members[cfg.Self] = &memberState{
-		name: cfg.Self, addr: cfg.Addr, incarnation: m.incarnation, lastSeen: now,
+		name: cfg.Self, addr: cfg.Addr, ops: cfg.Ops, incarnation: m.incarnation, lastSeen: now,
 	}
 	for name, addr := range cfg.Static {
 		if name == cfg.Self {
@@ -268,6 +287,12 @@ func (m *Membership) tick() {
 	if m.cfg.Keys != nil {
 		keys = m.cfg.Keys()
 	}
+	// Health snapshot before mu: comm.Health has its own lock and must
+	// not nest under membership mu.
+	var hs []comm.PeerHealth
+	if m.cfg.Health != nil {
+		hs = m.cfg.Health.Snapshot()
+	}
 
 	type target struct{ name, addr string }
 	var targets []target
@@ -286,7 +311,7 @@ func (m *Membership) tick() {
 		}
 		targets = append(targets, target{ms.name, ms.addr})
 	}
-	msg := m.hbPayloadLocked()
+	msg := m.hbPayloadLocked(hs)
 	m.mu.Unlock()
 
 	for _, s := range m.cfg.Seeds {
@@ -310,14 +335,15 @@ func (m *Membership) tick() {
 }
 
 // hbPayloadLocked renders the heartbeat message; mu must be held.
-func (m *Membership) hbPayloadLocked() []byte {
+// health is the pre-snapshotted link health to piggyback.
+func (m *Membership) hbPayloadLocked(health []comm.PeerHealth) []byte {
 	msg := hbMsg{From: wireMember{
-		Name: m.cfg.Self, Addr: m.cfg.Addr,
+		Name: m.cfg.Self, Addr: m.cfg.Addr, Ops: m.cfg.Ops,
 		Incarnation: m.incarnation, Keys: m.members[m.cfg.Self].keys,
-	}}
+	}, Health: health}
 	for _, ms := range m.members {
 		msg.Members = append(msg.Members, wireMember{
-			Name: ms.name, Addr: ms.addr, Incarnation: ms.incarnation, Keys: ms.keys,
+			Name: ms.name, Addr: ms.addr, Ops: ms.ops, Incarnation: ms.incarnation, Keys: ms.keys,
 		})
 	}
 	var buf bytes.Buffer
@@ -370,10 +396,13 @@ func (m *Membership) handleHeartbeat(raw []byte) ([]byte, error) {
 	m.mu.Lock()
 	m.mergeOneLocked(msg.From, now, true)
 	m.mergeLocked(msg.Members, now)
+	if msg.From.Name != "" {
+		m.remoteHealth[msg.From.Name] = msg.Health
+	}
 	out := hbResp{}
 	for _, ms := range m.members {
 		out.Members = append(out.Members, wireMember{
-			Name: ms.name, Addr: ms.addr, Incarnation: ms.incarnation, Keys: ms.keys,
+			Name: ms.name, Addr: ms.addr, Ops: ms.ops, Incarnation: ms.incarnation, Keys: ms.keys,
 		})
 	}
 	m.mu.Unlock()
@@ -411,6 +440,9 @@ func (m *Membership) mergeOneLocked(wm wireMember, now time.Time, direct bool) {
 	if wm.Incarnation >= ms.incarnation {
 		if wm.Addr != "" {
 			ms.addr = wm.Addr
+		}
+		if wm.Ops != "" && wm.Name != m.cfg.Self {
+			ms.ops = wm.Ops
 		}
 		if wm.Incarnation > ms.incarnation && wm.Name != m.cfg.Self {
 			// A restart: treat as freshly seen so the rejoiner is not
@@ -521,6 +553,38 @@ func (m *Membership) Suspect(name string) {
 	m.mu.Unlock()
 }
 
+// OpsOf resolves a member name to its gossiped operator-facing (ctl)
+// address, "" when unknown.
+func (m *Membership) OpsOf(name string) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if ms := m.members[name]; ms != nil {
+		return ms.ops
+	}
+	return ""
+}
+
+// FleetHealth returns every member's piggybacked link-health snapshot,
+// keyed by the reporting member. The values are what each member last
+// told us about its own outbound links.
+func (m *Membership) FleetHealth() map[string][]comm.PeerHealth {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string][]comm.PeerHealth, len(m.remoteHealth))
+	for k, v := range m.remoteHealth {
+		out[k] = append([]comm.PeerHealth(nil), v...)
+	}
+	return out
+}
+
+// SuspectCount returns how many members are currently judged suspect —
+// the watchdog's membership probe pending quantity.
+func (m *Membership) SuspectCount() int64 { return m.countState(StateSuspect) }
+
+// HeartbeatsSent returns the total probes sent — the watchdog's
+// membership progress counter.
+func (m *Membership) HeartbeatsSent() int64 { return m.hbSent.Load() }
+
 // AddrOf resolves a member name to its dial address.
 func (m *Membership) AddrOf(name string) (string, bool) {
 	m.mu.RLock()
@@ -543,7 +607,7 @@ func (m *Membership) Members() []Member {
 	out := make([]Member, 0, len(m.members))
 	for _, ms := range m.members {
 		mb := Member{
-			Name: ms.name, Addr: ms.addr,
+			Name: ms.name, Addr: ms.addr, Ops: ms.ops,
 			State:       m.stateOfLocked(ms, now),
 			Incarnation: ms.incarnation,
 			Keys:        ms.keys,
@@ -642,6 +706,7 @@ func (m *Membership) peer(addr string) (comm.Peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	p = comm.InstrumentPeer(p, addr, m.cfg.Stats)
 	m.peerMu.Lock()
 	if prev, ok := m.peers[addr]; ok {
 		m.peerMu.Unlock()

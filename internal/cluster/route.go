@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"sync/atomic"
+	"time"
 
 	"hfetch/internal/comm"
 	"hfetch/internal/core/auditor"
@@ -39,17 +40,20 @@ type Router struct {
 	self  string
 	local auditor.Sink
 	mem   *Membership
+	reg   *telemetry.Registry
 
 	routedOut atomic.Int64
 	routedIn  atomic.Int64
 	dropped   atomic.Int64
 	invalsOut atomic.Int64
+
+	hopNanos *telemetry.Histogram // routed-message wire hop latency
 }
 
 // NewRouter wraps the local engine sink. Incoming handlers are
 // registered on mux (the peer-facing mux).
 func NewRouter(self string, local auditor.Sink, mem *Membership, mux muxRegistrar, reg *telemetry.Registry) *Router {
-	r := &Router{self: self, local: local, mem: mem}
+	r := &Router{self: self, local: local, mem: mem, reg: reg}
 	if mux != nil {
 		mux.Register(MsgUpdate, r.handleUpdates)
 		mux.Register(MsgInval, r.handleInval)
@@ -59,6 +63,8 @@ func NewRouter(self string, local auditor.Sink, mem *Membership, mux muxRegistra
 		reg.CounterFunc("hfetch_cluster_updates_received_total", "score updates received from peer auditors", r.routedIn.Load)
 		reg.CounterFunc("hfetch_cluster_updates_dropped_total", "foreign-origin updates dropped (origin unreachable)", r.dropped.Load)
 		reg.CounterFunc("hfetch_cluster_invalidations_sent_total", "file invalidations broadcast to peers", r.invalsOut.Load)
+		r.hopNanos = reg.Histogram("hfetch_route_hop_nanos",
+			"wire hop latency of routed updates and invalidations in nanoseconds")
 	}
 	return r
 }
@@ -116,6 +122,7 @@ func (r *Router) FileInvalidated(file string) {
 	}
 	var buf bytes.Buffer
 	gob.NewEncoder(&buf).Encode(file) //nolint:errcheck // in-memory encode of a string
+	wrapped := comm.WrapTrace(comm.TraceCtx{Origin: r.self, SentUnixNano: time.Now().UnixNano()}, buf.Bytes())
 	for _, name := range r.mem.View() {
 		if name == r.self || !r.mem.Usable(name) {
 			continue
@@ -124,7 +131,7 @@ func (r *Router) FileInvalidated(file string) {
 		if err != nil {
 			continue
 		}
-		if err := p.Notify(MsgInval, buf.Bytes()); err != nil {
+		if err := p.Notify(MsgInval, wrapped); err != nil {
 			r.mem.DropPeer(name)
 			continue
 		}
@@ -150,7 +157,21 @@ func (r *Router) ship(node string, ups []auditor.Update) {
 	if err == nil {
 		var buf bytes.Buffer
 		if gob.NewEncoder(&buf).Encode(ups) == nil {
-			err = p.Notify(MsgUpdate, buf.Bytes())
+			now := time.Now()
+			err = p.Notify(MsgUpdate, comm.WrapTrace(
+				comm.TraceCtx{Origin: r.self, SentUnixNano: now.UnixNano()}, buf.Bytes()))
+			if err == nil {
+				// Updates with a sampled trace get a route span on this
+				// node's in-flight entry: the hop is now part of the
+				// segment's lifecycle.
+				if lc := r.reg.Lifecycle(); lc != nil {
+					for _, u := range ups {
+						if u.Trace != 0 {
+							lc.Record(telemetry.StageRoute, u.ID.File, u.ID.Index, node, now, 0)
+						}
+					}
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -178,16 +199,37 @@ func (r *Router) deliverLocal(ups []auditor.Update) {
 }
 
 func (r *Router) handleUpdates(raw []byte) ([]byte, error) {
+	tc, raw := comm.UnwrapTrace(raw)
 	var ups []auditor.Update
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&ups); err != nil {
 		return nil, err
 	}
 	r.routedIn.Add(int64(len(ups)))
+	if !tc.Zero() {
+		now := time.Now()
+		hop := tc.HopLatency(now)
+		r.hopNanos.Observe(int64(hop))
+		// Arrival spans for traced updates: recorded under the foreign
+		// trace ID with the hop duration, so the merged fleet export
+		// shows the wire hop between the two nodes' lanes.
+		if lc := r.reg.Lifecycle(); lc != nil {
+			sent := time.Unix(0, tc.SentUnixNano)
+			for _, u := range ups {
+				if u.Trace != 0 {
+					lc.RecordPeer(u.Trace, telemetry.StageRoute, u.ID.File, u.ID.Index, tc.Origin, sent, hop)
+				}
+			}
+		}
+	}
 	r.deliverLocal(ups)
 	return nil, nil
 }
 
 func (r *Router) handleInval(raw []byte) ([]byte, error) {
+	tc, raw := comm.UnwrapTrace(raw)
+	if !tc.Zero() {
+		r.hopNanos.Observe(int64(tc.HopLatency(time.Now())))
+	}
 	var file string
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&file); err != nil {
 		return nil, err

@@ -31,9 +31,20 @@ type PeerHealth struct {
 // it. It is transport-agnostic: callers observe every request they issue.
 type Health struct {
 	threshold int
+	stats     *Stats // optional; counts failed observations
 
 	mu    sync.Mutex
 	peers map[string]*PeerHealth
+}
+
+// SetStats attaches transport instrumentation: every failed observation
+// also bumps hfetch_comm_health_failures_total. Nil-safe; call before
+// traffic.
+func (h *Health) SetStats(st *Stats) {
+	if h == nil {
+		return
+	}
+	h.stats = st
 }
 
 // NewHealth returns a tracker that reports a peer unhealthy after
@@ -50,6 +61,9 @@ func NewHealth(threshold int) *Health {
 func (h *Health) Observe(node string, d time.Duration, err error) {
 	if h == nil {
 		return
+	}
+	if err != nil {
+		h.stats.HealthFailure()
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -30,14 +30,20 @@ const (
 // multiplexed gob stream of envelopes; responses are written back on the
 // same connection tagged with the request ID.
 type TCPServer struct {
-	mux *Mux
-	ln  net.Listener
+	mux   *Mux
+	ln    net.Listener
+	stats atomic.Pointer[Stats]
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// SetStats attaches transport instrumentation: connections accepted
+// after the call count their frame bytes into st. Safe to call at any
+// time; a nil st disables counting for new connections.
+func (s *TCPServer) SetStats(st *Stats) { s.stats.Store(st) }
 
 // ListenTCP starts a server for mux on addr ("host:port", ":0" for an
 // ephemeral port).
@@ -61,6 +67,9 @@ func (s *TCPServer) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if st := s.stats.Load(); st != nil {
+			conn = countingConn{Conn: conn, st: st}
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -134,6 +143,8 @@ type tcpPeer struct {
 	conn       net.Conn
 	enc        *gob.Encoder
 	reqTimeout time.Duration
+	stats      *Stats // nil when uninstrumented
+	peerName   string // stats label (PeerOptions.PeerName or the addr)
 
 	wmu    sync.Mutex
 	nextID atomic.Uint64
@@ -161,6 +172,13 @@ type PeerOptions struct {
 	// doubles it, plus up to 50% random jitter so a cluster of restarting
 	// nodes does not redial in lockstep (default 50ms).
 	DialBackoff time.Duration
+	// Stats, when non-nil, instruments the peer: dial latency and
+	// retries, per-request round-trip latency and timeouts, and frame
+	// bytes in/out via a counting connection wrapper.
+	Stats *Stats
+	// PeerName labels Stats series for this peer (default: the dialed
+	// address).
+	PeerName string
 }
 
 func (o PeerOptions) withDefaults() PeerOptions {
@@ -186,11 +204,16 @@ func DialTCP(addr string) (Peer, error) {
 // failures with jittered exponential backoff per opts.
 func DialTCPOpts(addr string, opts PeerOptions) (Peer, error) {
 	opts = opts.withDefaults()
+	if opts.PeerName == "" {
+		opts.PeerName = addr
+	}
 	var conn net.Conn
 	var err error
 	backoff := opts.DialBackoff
+	dialStart := time.Now()
 	for attempt := 0; attempt < opts.DialAttempts; attempt++ {
 		if attempt > 0 {
+			opts.Stats.DialRetry()
 			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)/2+1)))
 			backoff *= 2
 		}
@@ -202,10 +225,16 @@ func DialTCPOpts(addr string, opts PeerOptions) (Peer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
 	}
+	opts.Stats.ObserveDial(opts.PeerName, time.Since(dialStart))
+	if opts.Stats != nil {
+		conn = countingConn{Conn: conn, st: opts.Stats}
+	}
 	p := &tcpPeer{
 		conn:       conn,
 		enc:        gob.NewEncoder(conn),
 		reqTimeout: opts.RequestTimeout,
+		stats:      opts.Stats,
+		peerName:   opts.PeerName,
 		pending:    make(map[uint64]chan envelope),
 	}
 	go p.readLoop()
@@ -237,6 +266,16 @@ func (p *tcpPeer) readLoop() {
 }
 
 func (p *tcpPeer) Request(msgType string, payload []byte) ([]byte, error) {
+	if p.stats == nil {
+		return p.request(msgType, payload)
+	}
+	start := time.Now()
+	resp, err := p.request(msgType, payload)
+	p.stats.ObserveRequest(p.peerName, time.Since(start), err)
+	return resp, err
+}
+
+func (p *tcpPeer) request(msgType string, payload []byte) ([]byte, error) {
 	id := p.nextID.Add(1)
 	ch := make(chan envelope, 1)
 	p.mu.Lock()

@@ -1,0 +1,89 @@
+package comm
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Binary trace-context header: a fixed prefix spliced in front of a
+// message payload so a lifecycle trace ID (and the hop's send time)
+// rides any comm transport without changing the envelope format or the
+// Peer interface. Senders call WrapTrace on the payload; receivers call
+// UnwrapTrace before decoding. A payload without the magic prefix
+// unwraps to a zero context and itself, so handlers stay compatible
+// with un-wrapped senders.
+//
+// Layout (big-endian): magic (2B) | version (1B) | trace ID (8B) |
+// sent unix-nanos (8B) | origin length (1B) | origin bytes.
+const (
+	traceMagic0  = 0xC7
+	traceMagic1  = 0x5A
+	traceVersion = 1
+
+	traceFixedLen = 2 + 1 + 8 + 8 + 1
+)
+
+// TraceCtx is the cross-node trace context carried by WrapTrace.
+type TraceCtx struct {
+	// ID is the lifecycle trace ID rooted on the origin node (0 when the
+	// hop is not part of a sampled trace — the header still carries the
+	// origin and send time for hop latency accounting).
+	ID uint64
+	// SentUnixNano is the sender's clock at send time, for per-hop
+	// latency on the receiving side.
+	SentUnixNano int64
+	// Origin names the sending node.
+	Origin string
+}
+
+// Zero reports whether the context carries nothing.
+func (t TraceCtx) Zero() bool { return t.ID == 0 && t.Origin == "" && t.SentUnixNano == 0 }
+
+// HopLatency returns now minus the sender's send stamp (clamped at 0;
+// the two clocks are the same machine in tests and NTP-close in
+// deployments, so negative skews are floored rather than reported).
+func (t TraceCtx) HopLatency(now time.Time) time.Duration {
+	if t.SentUnixNano == 0 {
+		return 0
+	}
+	d := now.UnixNano() - t.SentUnixNano
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
+// WrapTrace prefixes payload with the trace-context header.
+func WrapTrace(tc TraceCtx, payload []byte) []byte {
+	origin := tc.Origin
+	if len(origin) > 255 {
+		origin = origin[:255]
+	}
+	out := make([]byte, traceFixedLen+len(origin)+len(payload))
+	out[0], out[1], out[2] = traceMagic0, traceMagic1, traceVersion
+	binary.BigEndian.PutUint64(out[3:], tc.ID)
+	binary.BigEndian.PutUint64(out[11:], uint64(tc.SentUnixNano))
+	out[19] = byte(len(origin))
+	copy(out[traceFixedLen:], origin)
+	copy(out[traceFixedLen+len(origin):], payload)
+	return out
+}
+
+// UnwrapTrace splits a wrapped payload into its trace context and the
+// original payload. Payloads without the header (or with a truncated
+// one) return a zero context and the input unchanged.
+func UnwrapTrace(b []byte) (TraceCtx, []byte) {
+	if len(b) < traceFixedLen || b[0] != traceMagic0 || b[1] != traceMagic1 || b[2] != traceVersion {
+		return TraceCtx{}, b
+	}
+	olen := int(b[19])
+	if len(b) < traceFixedLen+olen {
+		return TraceCtx{}, b
+	}
+	tc := TraceCtx{
+		ID:           binary.BigEndian.Uint64(b[3:]),
+		SentUnixNano: int64(binary.BigEndian.Uint64(b[11:])),
+		Origin:       string(b[traceFixedLen : traceFixedLen+olen]),
+	}
+	return tc, b[traceFixedLen+olen:]
+}

@@ -1,0 +1,77 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestTraceWrapUnwrapRoundtrip(t *testing.T) {
+	payload := []byte("gob bytes here")
+	tc := TraceCtx{ID: 0xDEADBEEFCAFE, SentUnixNano: 1234567890, Origin: "node0"}
+	got, rest := UnwrapTrace(WrapTrace(tc, payload))
+	if got != tc {
+		t.Fatalf("roundtrip ctx = %+v, want %+v", got, tc)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("roundtrip payload = %q, want %q", rest, payload)
+	}
+	if got.Zero() {
+		t.Fatal("non-empty context reported Zero")
+	}
+}
+
+func TestTraceUnwrapBareFallback(t *testing.T) {
+	// Handlers must accept payloads from senders that never wrapped:
+	// no magic means a zero context and the input back untouched.
+	for _, raw := range [][]byte{nil, {}, []byte("x"), []byte("plain gob payload with no header")} {
+		tc, rest := UnwrapTrace(raw)
+		if !tc.Zero() {
+			t.Fatalf("bare payload %q produced non-zero ctx %+v", raw, tc)
+		}
+		if !bytes.Equal(rest, raw) {
+			t.Fatalf("bare payload %q came back as %q", raw, rest)
+		}
+	}
+}
+
+func TestTraceUnwrapTruncatedHeader(t *testing.T) {
+	full := WrapTrace(TraceCtx{ID: 7, SentUnixNano: 9, Origin: "a-long-node-name"}, []byte("p"))
+	// Every truncation of the header region must fall back to a zero
+	// context rather than mis-parse.
+	for n := 0; n < traceFixedLen+len("a-long-node-name"); n++ {
+		tc, rest := UnwrapTrace(full[:n])
+		if !tc.Zero() {
+			t.Fatalf("truncated to %d bytes produced ctx %+v", n, tc)
+		}
+		if !bytes.Equal(rest, full[:n]) {
+			t.Fatalf("truncated input %d not returned unchanged", n)
+		}
+	}
+}
+
+func TestTraceOriginTruncatedTo255(t *testing.T) {
+	long := string(bytes.Repeat([]byte("n"), 300))
+	tc, rest := UnwrapTrace(WrapTrace(TraceCtx{ID: 1, Origin: long}, []byte("p")))
+	if len(tc.Origin) != 255 {
+		t.Fatalf("origin length = %d, want 255", len(tc.Origin))
+	}
+	if string(rest) != "p" {
+		t.Fatalf("payload = %q, want p", rest)
+	}
+}
+
+func TestTraceHopLatency(t *testing.T) {
+	now := time.Unix(100, 0)
+	tc := TraceCtx{SentUnixNano: now.Add(-3 * time.Millisecond).UnixNano()}
+	if d := tc.HopLatency(now); d != 3*time.Millisecond {
+		t.Fatalf("HopLatency = %v, want 3ms", d)
+	}
+	// Clock skew floors at zero, and an unstamped context reports zero.
+	if d := (TraceCtx{SentUnixNano: now.Add(time.Second).UnixNano()}).HopLatency(now); d != 0 {
+		t.Fatalf("negative-skew HopLatency = %v, want 0", d)
+	}
+	if d := (TraceCtx{}).HopLatency(now); d != 0 {
+		t.Fatalf("zero-ctx HopLatency = %v, want 0", d)
+	}
+}

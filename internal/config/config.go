@@ -84,6 +84,20 @@ type Config struct {
 	LifecycleSampleEvery int `json:"lifecycle_sample_every,omitempty"`
 	// LifecycleMaxActive caps in-flight lifecycle traces (default 4096).
 	LifecycleMaxActive int `json:"lifecycle_max_active,omitempty"`
+	// DisableWatchdog turns off the stall watchdog (on by default
+	// whenever telemetry is on; its steady-state cost is one probe sweep
+	// per poll interval — the read path pays nothing).
+	DisableWatchdog bool `json:"disable_watchdog,omitempty"`
+	// WatchdogStallMS is how long a probe must show pending work with no
+	// progress before the watchdog trips and dumps a diagnostic bundle
+	// (default 5000).
+	WatchdogStallMS int `json:"watchdog_stall_ms,omitempty"`
+	// WatchdogDir is where trip bundles are written (default: the working
+	// directory).
+	WatchdogDir string `json:"watchdog_dir,omitempty"`
+	// WatchdogMaxBundles bounds the on-disk bundle ring (default 4;
+	// oldest bundles are pruned first).
+	WatchdogMaxBundles int `json:"watchdog_max_bundles,omitempty"`
 
 	// LogLevel selects the daemon's minimum log level: "debug", "info"
 	// (default), "warn" or "error".
@@ -289,6 +303,9 @@ func (c Config) Validate() error {
 	if c.LifecycleRing < 0 || c.LifecycleSampleEvery < 0 || c.LifecycleMaxActive < 0 {
 		return fmt.Errorf("config: lifecycle_ring, lifecycle_sample_every and lifecycle_max_active must be >= 0")
 	}
+	if c.WatchdogStallMS < 0 || c.WatchdogMaxBundles < 0 {
+		return fmt.Errorf("config: watchdog_stall_ms and watchdog_max_bundles must be >= 0")
+	}
 	switch c.LogLevel {
 	case "", "debug", "info", "warn", "error":
 	default:
@@ -359,6 +376,15 @@ func (c Config) SlogLevel() slog.Level {
 // duration.
 func (c Config) GatewayWait() time.Duration {
 	return time.Duration(c.GatewayWaitMS * float64(time.Millisecond))
+}
+
+// WatchdogStall returns the stall threshold after which the watchdog
+// trips (default 5s).
+func (c Config) WatchdogStall() time.Duration {
+	if c.WatchdogStallMS > 0 {
+		return time.Duration(c.WatchdogStallMS) * time.Millisecond
+	}
+	return 5 * time.Second
 }
 
 // FetchWait returns the read-path bounded fetch wait as a duration.

@@ -31,6 +31,10 @@ const (
 	MsgMetrics = "ctl.metrics"
 	MsgSpans   = "ctl.spans"
 	MsgTrace   = "ctl.trace"
+	// MsgTraceRecs returns the raw lifecycle records plus the node name,
+	// so fleet-level callers (hfetchctl trace -fleet) can merge lanes from
+	// every member into one multi-process Perfetto export client-side.
+	MsgTraceRecs = "ctl.tracerecs"
 )
 
 type openReq struct{ File string }
@@ -65,6 +69,13 @@ type spansReply struct{ Spans []telemetry.SpanRecord }
 type traceReq struct{ CSV bool }
 
 type traceReply struct{ Data []byte }
+
+// traceRecsReply is the MsgTraceRecs payload: this node's lifecycle
+// records, unrendered, for client-side fleet merging.
+type traceRecsReply struct {
+	Node string
+	Recs []telemetry.TraceRecord
+}
 
 // StatsReply is the ctl.stats payload.
 type StatsReply struct {
@@ -178,6 +189,13 @@ func Serve(mux *comm.Mux, srv *server.Server) {
 			return nil, err
 		}
 		return enc(traceReply{Data: data})
+	})
+	mux.Register(MsgTraceRecs, func(raw []byte) ([]byte, error) {
+		reply := traceRecsReply{Node: srv.Node()}
+		if lc := srv.Telemetry().Lifecycle(); lc != nil {
+			reply.Recs = lc.Export()
+		}
+		return enc(reply)
 	})
 	mux.Register(MsgTiers, func(raw []byte) ([]byte, error) {
 		var out []TierInfo
@@ -350,6 +368,20 @@ func (c *Client) Trace(csv bool) ([]byte, error) {
 	return out.Data, err
 }
 
+// TraceRecords fetches the daemon's raw lifecycle records and its node
+// name, for fleet-merged exports (telemetry.WriteFleetTraceJSON).
+func (c *Client) TraceRecords() (node string, recs []telemetry.TraceRecord, err error) {
+	raw, err := c.peer.Request(MsgTraceRecs, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	var out traceRecsReply
+	if err := dec(raw, &out); err != nil {
+		return "", nil, err
+	}
+	return out.Node, out.Recs, nil
+}
+
 // Tiers queries the daemon's tier occupancy.
 func (c *Client) Tiers() ([]TierInfo, error) {
 	raw, err := c.peer.Request(MsgTiers, nil)
@@ -484,6 +516,10 @@ const MsgNodes = "ctl.nodes"
 type NodeInfo struct {
 	Name string
 	Addr string
+	// Ops is the member's operator-facing (agent/ctl) address, gossiped
+	// through the membership so fleet fan-out (hfetchctl -fleet) needs no
+	// static configuration ("" when unknown).
+	Ops string
 	// State is "alive", "suspect" or "dead" ("self" fields report zero
 	// heartbeat age).
 	State string

@@ -204,6 +204,7 @@ func New(cfg Config, fs *pfs.FS, hier *tiers.Hierarchy, stats, maps *dhm.Map) (*
 		s.tele = reg
 		if lc := reg.Lifecycle(); lc != nil {
 			lc.SetGrain(segr.Size())
+			lc.SetOrigin(cfg.Node)
 		}
 		s.hitVec = reg.CounterVec("hfetch_tier_read_hits_total", "segment reads served from the tier", "tier")
 		s.missCtr = reg.Counter("hfetch_read_misses_total", "segment reads that fell back to the PFS")
@@ -584,6 +585,11 @@ func (s *Server) EnableRemote(mux *comm.Mux, dialer Dialer) {
 	s.dialer = dialer
 	s.peerMu.Unlock()
 	mux.Register(msgRemoteRead, func(raw []byte) ([]byte, error) {
+		tc, raw := comm.UnwrapTrace(raw)
+		var serveStart time.Time
+		if !tc.Zero() {
+			serveStart = time.Now()
+		}
 		var req remoteReadReq
 		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
 			return nil, err
@@ -607,6 +613,14 @@ func (s *Server) EnableRemote(mux *comm.Mux, dialer Dialer) {
 					ok = true
 				}
 				defer b.Release()
+			}
+		}
+		// A traced request gets a serve span on this node's lane: the
+		// segment's lifecycle now shows which peer served the bytes.
+		if !tc.Zero() {
+			if lc := s.tele.Lifecycle(); lc != nil {
+				lc.RecordPeer(tc.ID, telemetry.StagePeerFetchServe,
+					req.File, req.Idx, req.Tier, serveStart, time.Since(serveStart))
 			}
 		}
 		var out bytes.Buffer
@@ -653,7 +667,17 @@ func (s *Server) ReadRemoteDirect(node, tier string, id seg.ID, off int64, p []b
 	gob.NewEncoder(&buf).Encode(remoteReadReq{ //nolint:errcheck // in-memory encode of a plain struct
 		Tier: tier, File: id.File, Idx: id.Index, Off: off, Len: len(p),
 	})
-	raw, err := peer.Request(msgRemoteRead, buf.Bytes())
+	payload := buf.Bytes()
+	// Propagate the segment's lifecycle trace (when sampled) so the
+	// serving peer's span lands under the same trace ID.
+	if lc := s.tele.Lifecycle(); lc != nil {
+		if tid := lc.Current(id.File, id.Index); tid != 0 {
+			payload = comm.WrapTrace(comm.TraceCtx{
+				ID: tid, Origin: s.cfg.Node, SentUnixNano: time.Now().UnixNano(),
+			}, payload)
+		}
+	}
+	raw, err := peer.Request(msgRemoteRead, payload)
 	if err != nil {
 		// Drop the cached peer so the next attempt redials through the
 		// dialer (which may resolve a restarted node's new transport).

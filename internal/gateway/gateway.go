@@ -11,11 +11,13 @@ package gateway
 
 import (
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hfetch/internal/core/server"
@@ -59,6 +61,14 @@ type Config struct {
 	// Telemetry receives the gateway metric families; nil disables
 	// instrumentation.
 	Telemetry *telemetry.Registry
+	// Logger, when non-nil, emits one debug-level line per finished
+	// request (tenant, client, range, status, TTFB, and the segment's
+	// lifecycle trace ID when sampled). Nil disables request logging.
+	Logger *slog.Logger
+	// LogMaxPerSec caps emitted request lines per second so debug logging
+	// on a hot gateway cannot drown the node (default 100; excess
+	// requests are served unlogged).
+	LogMaxPerSec int
 }
 
 func (c Config) withDefaults(segSize int64) Config {
@@ -86,6 +96,9 @@ func (c Config) withDefaults(segSize int64) Config {
 	if c.ChunkBytes <= 0 {
 		c.ChunkBytes = 256 << 10
 	}
+	if c.LogMaxPerSec <= 0 {
+		c.LogMaxPerSec = 100
+	}
 	return c
 }
 
@@ -108,6 +121,14 @@ type Gateway struct {
 	mu     sync.Mutex
 	closed bool
 	epochs map[string]int64 // file -> size pinned at first serve
+
+	// completed counts finished requests (any status, including aborts):
+	// the progress signal the stall watchdog pairs with the inflight
+	// gauge.
+	completed atomic.Int64
+
+	log    *slog.Logger
+	logLim logLimiter
 
 	reqVec     *telemetry.CounterVec
 	tenantVec  *telemetry.CounterVec
@@ -132,9 +153,11 @@ func New(srv *server.Server, cfg Config) *Gateway {
 		streams: newStreamTable(cfg.StreamWindow),
 		epochs:  make(map[string]int64),
 	}
+	g.log = cfg.Logger
+	g.logLim.max = cfg.LogMaxPerSec
 	g.mux = http.NewServeMux()
-	g.mux.HandleFunc("GET /files/{path...}", g.handleFile)
-	g.mux.HandleFunc("HEAD /files/{path...}", g.handleFile)
+	g.mux.HandleFunc("GET /files/{path...}", g.serve)
+	g.mux.HandleFunc("HEAD /files/{path...}", g.serve)
 	if reg := cfg.Telemetry; reg != nil {
 		g.reqVec = reg.CounterVec("hfetch_gateway_requests_total", "gateway requests by HTTP status code", "code")
 		g.tenantVec = reg.CounterVec("hfetch_gateway_tenant_requests_total", "gateway requests admitted per tenant", "tenant")
@@ -212,6 +235,108 @@ func tenantOf(r *http.Request) string {
 
 func (g *Gateway) countCode(code int) {
 	g.reqVec.With(strconv.Itoa(code)).Inc()
+}
+
+// serve wraps handleFile with completion accounting and, when a logger
+// is configured, per-request debug logging. The abort panic
+// (http.ErrAbortHandler) is logged and re-raised so net/http still cuts
+// the connection.
+func (g *Gateway) serve(w http.ResponseWriter, r *http.Request) {
+	defer g.completed.Add(1)
+	if g.log == nil {
+		g.handleFile(w, r)
+		return
+	}
+	lw := &logWriter{ResponseWriter: w, start: time.Now(), status: http.StatusOK}
+	defer func() {
+		if p := recover(); p != nil {
+			lw.aborted = true
+			g.logRequest(lw, r)
+			panic(p)
+		}
+		g.logRequest(lw, r)
+	}()
+	g.handleFile(lw, r)
+}
+
+func (g *Gateway) logRequest(lw *logWriter, r *http.Request) {
+	if !g.logLim.allow(time.Now()) {
+		return
+	}
+	path := lw.path
+	if path == "" {
+		path = r.PathValue("path")
+	}
+	attrs := []any{
+		"method", r.Method,
+		"path", path,
+		"tenant", tenantOf(r),
+		"client", clientOf(r),
+		"status", lw.status,
+		"range_off", lw.off,
+		"range_len", lw.ln,
+		"bytes", lw.n,
+		"dur", time.Since(lw.start),
+	}
+	if lw.ttfb > 0 {
+		attrs = append(attrs, "ttfb", lw.ttfb)
+	}
+	if lw.aborted {
+		attrs = append(attrs, "aborted", true)
+	}
+	if lc := g.srv.Telemetry().Lifecycle(); lc != nil && lw.path != "" {
+		if tid := lc.Current(lw.path, g.srv.Segmenter().IndexOf(lw.off)); tid != 0 {
+			attrs = append(attrs, "trace_id", tid)
+		}
+	}
+	g.log.Debug("gateway request", attrs...)
+}
+
+// logWriter records the response facts the request log line needs;
+// handleFile fills path and range via noteRange once they are parsed.
+type logWriter struct {
+	http.ResponseWriter
+	start   time.Time
+	status  int
+	ttfb    time.Duration
+	n       int64
+	path    string
+	off, ln int64
+	aborted bool
+}
+
+func (lw *logWriter) WriteHeader(code int) {
+	lw.status = code
+	lw.ResponseWriter.WriteHeader(code)
+}
+
+func (lw *logWriter) Write(p []byte) (int, error) {
+	if lw.ttfb == 0 {
+		lw.ttfb = time.Since(lw.start)
+	}
+	n, err := lw.ResponseWriter.Write(p)
+	lw.n += int64(n)
+	return n, err
+}
+
+// logLimiter is a one-second fixed window over emitted lines: cheap, and
+// off the request path entirely when logging is disabled.
+type logLimiter struct {
+	mu     sync.Mutex
+	window time.Time
+	count  int
+	max    int
+}
+
+func (l *logLimiter) allow(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now.Sub(l.window) >= time.Second {
+		l.window = now
+		l.count = 0
+	}
+	l.count++
+	return l.count <= l.max
 }
 
 func (g *Gateway) handleFile(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +419,9 @@ func (g *Gateway) handleFile(w http.ResponseWriter, r *http.Request) {
 				strconv.FormatInt(fi.Size, 10))
 	}
 	h.Set("Content-Length", strconv.FormatInt(br.length, 10))
+	if lw, ok := w.(*logWriter); ok {
+		lw.path, lw.off, lw.ln = path, br.start, br.length
+	}
 
 	// Every request is an access event: the gateway is just another
 	// reader as far as the prefetching pipeline is concerned.
@@ -317,6 +445,14 @@ func (g *Gateway) handleFile(w http.ResponseWriter, r *http.Request) {
 	}
 	g.stream(w, path, fi, br, start)
 }
+
+// InflightNow reports requests currently being served (the watchdog's
+// pending signal; also exported as hfetch_gateway_inflight).
+func (g *Gateway) InflightNow() int64 { return g.qos.inflightNow() }
+
+// Completed reports finished requests, any status including aborts (the
+// watchdog's progress signal).
+func (g *Gateway) Completed() int64 { return g.completed.Load() }
 
 // hint posts synthetic readahead events for the segments following end,
 // at segment granularity: a detected stream is the sequencing signal,

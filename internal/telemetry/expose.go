@@ -99,6 +99,18 @@ func (s *Snapshot) Merge(o Snapshot) {
 	}
 }
 
+// MergeSnapshots folds any number of per-node snapshots into one fleet
+// view: counters and gauges sum, histograms merge bucket-wise, and
+// series seen on only some nodes are carried through. The inputs are
+// not mutated.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out.Merge(s)
+	}
+	return out
+}
+
 // WriteText renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4), families in sorted name order so scrapes and
 // `hfetchctl metrics raw` output diff cleanly across runs. Histograms

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteFleetTraceJSON(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	shared := uint64(0x42<<32 | 7) // one trace ID propagated across nodes
+	lanes := []NodeTraces{
+		{Node: "node1", Recs: []TraceRecord{{
+			ID: shared, File: "f", Seg: 3, Class: ClassTimely, Done: true,
+			Events: []TraceEvent{
+				{Stage: StageEvent, Start: t0},
+				{Stage: StageRead, Tier: "ram", Start: t0.Add(time.Millisecond), Nanos: 5000},
+			},
+		}}},
+		{Node: "node0", Recs: []TraceRecord{{
+			ID: shared, File: "f", Seg: 3,
+			Events: []TraceEvent{
+				{Stage: StagePeerFetchServe, Tier: "nvme", Start: t0.Add(500 * time.Microsecond), Nanos: 2000},
+			},
+		}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFleetTraceJSON(&buf, lanes); err != nil {
+		t.Fatal(err)
+	}
+	if errs := ValidateTraceJSON(buf.Bytes()); len(errs) != 0 {
+		t.Fatalf("fleet trace fails validation: %v", errs)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Nodes  []string `json:"nodes"`
+			Format string   `json:"format"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData.Format != "hfetch-lifecycle-fleet" {
+		t.Fatalf("format = %q", doc.OtherData.Format)
+	}
+	// Lanes come out in sorted node order, one pid each.
+	if len(doc.OtherData.Nodes) != 2 || doc.OtherData.Nodes[0] != "node0" || doc.OtherData.Nodes[1] != "node1" {
+		t.Fatalf("nodes = %v, want [node0 node1]", doc.OtherData.Nodes)
+	}
+	procNames := map[int]string{}
+	pidsForShared := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Name == "process_name" {
+			args, _ := e.Args["name"].(string)
+			procNames[e.Pid] = args
+		}
+		if e.Ph != "M" && e.Tid == shared {
+			pidsForShared[e.Pid] = true
+		}
+	}
+	if procNames[1] != "node0" || procNames[2] != "node1" {
+		t.Fatalf("process names = %v, want pid1=node0 pid2=node1", procNames)
+	}
+	// The propagated trace ID shows up in both node lanes — the whole
+	// point of fleet export.
+	if len(pidsForShared) != 2 {
+		t.Fatalf("shared trace ID spans %d pids, want 2", len(pidsForShared))
+	}
+}
+
+func TestWriteFleetTraceJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFleetTraceJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if errs := ValidateTraceJSON(buf.Bytes()); len(errs) != 0 {
+		t.Fatalf("empty fleet trace fails validation: %v", errs)
+	}
+}

@@ -22,6 +22,15 @@ const (
 	StageLand = "land"
 	// StageRead marks the first application read served from a tier.
 	StageRead = "read"
+	// StageRoute marks a score update leaving (or arriving at) a node on
+	// the cluster routing path; the span's duration is the wire hop time
+	// when the receiver records it.
+	StageRoute = "route"
+	// StagePeerFetchServe marks a node serving a cross-node fetch from
+	// its own tiers on behalf of a peer. It is recorded on the serving
+	// node under the requester's trace ID, so a merged fleet export shows
+	// the lifecycle spanning both nodes.
+	StagePeerFetchServe = "peer_fetch_serve"
 	// StageEvicted, StageAborted, StageInvalidated and StageDropped are
 	// terminal markers: the segment left the hierarchy unread, its fetch
 	// was superseded or failed, its file was invalidated by a write, or
@@ -277,6 +286,22 @@ func (r *Registry) Lifecycle() *Lifecycle {
 	return r.lifecycle.Load()
 }
 
+// SetOrigin namespaces this tracer's IDs by node: the node name is
+// hashed into the high 32 bits of the ID counter, so traces rooted on
+// different nodes never collide when their exports are merged into one
+// fleet trace. Call once at startup, before traffic.
+func (lc *Lifecycle) SetOrigin(node string) {
+	if lc == nil || node == "" {
+		return
+	}
+	h := uint64(2166136261)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= 16777619
+	}
+	lc.nextID.Store((h & 0xffffffff) << 32)
+}
+
 // SetGrain sets the segment size used to map event offsets to segment
 // indices. The server calls it once at startup.
 func (lc *Lifecycle) SetGrain(g int64) {
@@ -434,6 +459,42 @@ func (lc *Lifecycle) Record(stage, file string, seg int64, tier string, start ti
 		t.events = append(t.events, TraceEvent{Stage: stage, Tier: tier, Start: start, Nanos: int64(d)})
 	}
 	st.mu.Unlock()
+}
+
+// Current returns the trace ID of the (file, segment)'s in-flight
+// trace, or 0 when none exists. It is the propagation hook: cross-node
+// requests carry this ID so the serving peer can attach its spans to
+// the same trace.
+//
+//hfetch:hotpath
+func (lc *Lifecycle) Current(file string, seg int64) uint64 {
+	if lc == nil || file == "" || seg < 0 || lc.active.Load() == 0 {
+		return 0
+	}
+	k := segKey{file, seg}
+	st := lc.stripeOf(k)
+	st.mu.Lock()
+	t := st.m[k]
+	st.mu.Unlock()
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// RecordPeer records a span performed on behalf of a foreign trace —
+// one rooted on another node, whose ID arrived in a comm trace-context
+// header. There is no local in-flight entry to attach to, so the span
+// goes straight to the flight recorder as a completed single-span
+// record under the foreign ID; merging exports across nodes re-unites
+// it with the rest of the lifecycle.
+func (lc *Lifecycle) RecordPeer(trace uint64, stage, file string, seg int64, tier string, start time.Time, d time.Duration) {
+	if lc == nil || trace == 0 {
+		return
+	}
+	t := &live{id: trace, born: start}
+	t.events = append(t.events, TraceEvent{Stage: stage, Tier: tier, Start: start, Nanos: int64(d)})
+	lc.pushRing(segKey{file, seg}, t, ClassNone)
 }
 
 // Active returns the in-flight trace count.

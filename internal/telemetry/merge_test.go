@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func findMetric(t *testing.T, s Snapshot, name, labels string) MetricSnapshot {
+	t.Helper()
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Labels == labels {
+			return m
+		}
+	}
+	t.Fatalf("metric %s%s not found in merged snapshot", name, labels)
+	return MetricSnapshot{}
+}
+
+func TestMergeSnapshotsDisjointFamilies(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("hfetch_only_a_total", "a").Add(3)
+	b := NewRegistry()
+	b.Counter("hfetch_only_b_total", "b").Add(5)
+	b.Gauge("hfetch_b_gauge", "g").Set(7)
+
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if got := findMetric(t, merged, "hfetch_only_a_total", "").Value; got != 3 {
+		t.Fatalf("only_a = %d, want 3", got)
+	}
+	if got := findMetric(t, merged, "hfetch_only_b_total", "").Value; got != 5 {
+		t.Fatalf("only_b = %d, want 5", got)
+	}
+	if got := findMetric(t, merged, "hfetch_b_gauge", "").Value; got != 7 {
+		t.Fatalf("b_gauge = %d, want 7", got)
+	}
+	if got := len(merged.Metrics); got != 3 {
+		t.Fatalf("merged series = %d, want 3", got)
+	}
+}
+
+func TestMergeSnapshotsSumsCountersPerLabel(t *testing.T) {
+	mk := func(local, peer int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("hfetch_reads_total", "reads", "path", "local").Add(local)
+		r.Counter("hfetch_reads_total", "reads", "path", "peer").Add(peer)
+		return r.Snapshot()
+	}
+	merged := MergeSnapshots(mk(10, 1), mk(20, 2), mk(30, 3))
+	if got := findMetric(t, merged, "hfetch_reads_total", `{path="local"}`).Value; got != 60 {
+		t.Fatalf(`reads{path=local} = %d, want 60`, got)
+	}
+	if got := findMetric(t, merged, "hfetch_reads_total", `{path="peer"}`).Value; got != 6 {
+		t.Fatalf(`reads{path=peer} = %d, want 6`, got)
+	}
+}
+
+func TestMergeSnapshotsFoldsHistogramsBucketwise(t *testing.T) {
+	// Two nodes with deliberately skewed latency shapes: node a saw many
+	// fast observations, node b few slow ones. The merged histogram must
+	// hold both tails, sum bucket-wise, and keep the global max.
+	a := NewRegistry()
+	ha := a.Histogram("hfetch_lat_nanos", "lat")
+	for i := 0; i < 100; i++ {
+		ha.Observe(100) // fast cluster
+	}
+	b := NewRegistry()
+	hb := b.Histogram("hfetch_lat_nanos", "lat")
+	for i := 0; i < 4; i++ {
+		hb.Observe(1 << 30) // slow outliers
+	}
+
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	h := findMetric(t, merged, "hfetch_lat_nanos", "").Hist
+	if h == nil {
+		t.Fatal("merged metric lost its histogram")
+	}
+	if h.Count != 104 {
+		t.Fatalf("merged count = %d, want 104", h.Count)
+	}
+	if want := int64(100*100 + 4*(1<<30)); h.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", h.Sum, want)
+	}
+	if h.Max != 1<<30 {
+		t.Fatalf("merged max = %d, want %d", h.Max, int64(1<<30))
+	}
+	// Bucket-wise sum: the merged buckets equal element-wise addition of
+	// the inputs.
+	var want HistSnapshot
+	want.Merge(*findMetric(t, a.Snapshot(), "hfetch_lat_nanos", "").Hist)
+	want.Merge(*findMetric(t, b.Snapshot(), "hfetch_lat_nanos", "").Hist)
+	if !reflect.DeepEqual(h.Buckets, want.Buckets) {
+		t.Fatalf("merged buckets diverge from element-wise sum:\n got %v\nwant %v", h.Buckets, want.Buckets)
+	}
+	// The skew survives: p50 sits in the fast cluster, p100 at the tail.
+	if q := h.Quantile(0.5); q > 1000 {
+		t.Fatalf("merged p50 = %d, want fast-cluster scale (<=1000)", q)
+	}
+	if q := h.Quantile(1.0); q < 1<<29 {
+		t.Fatalf("merged p100 = %d, want slow-tail scale (>=2^29)", q)
+	}
+}
+
+func TestMergeSnapshotsDoesNotAliasInputs(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("hfetch_h", "h").Observe(7)
+	in := r.Snapshot()
+	merged := MergeSnapshots(in)
+	merged.Metrics[0].Hist.Count = 999
+	if in.Metrics[0].Hist.Count == 999 {
+		t.Fatal("MergeSnapshots aliased the input histogram snapshot")
+	}
+}
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	if got := MergeSnapshots(); len(got.Metrics) != 0 {
+		t.Fatalf("empty merge produced %d series", len(got.Metrics))
+	}
+	if got := MergeSnapshots(Snapshot{}, Snapshot{}); len(got.Metrics) != 0 {
+		t.Fatalf("merge of empties produced %d series", len(got.Metrics))
+	}
+}

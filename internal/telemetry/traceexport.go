@@ -14,46 +14,92 @@ import (
 // (tid) per lifecycle trace, duration ("X") events for timed stages and
 // instant ("i") events for markers, timestamps in microseconds.
 
+// appendRecEvents renders one lifecycle trace onto evs under the given
+// pid (one pid per node in fleet exports).
+func appendRecEvents(evs []map[string]any, pid int, rec TraceRecord) []map[string]any {
+	label := fmt.Sprintf("%s#%d", rec.File, rec.Seg)
+	if rec.Done {
+		label += " [" + rec.Class.String() + "]"
+	}
+	evs = append(evs, map[string]any{
+		"name": "thread_name", "ph": "M", "pid": pid, "tid": rec.ID,
+		"args": map[string]any{"name": label},
+	})
+	for _, e := range rec.Events {
+		ev := map[string]any{
+			"name": e.Stage,
+			"cat":  "hfetch",
+			"pid":  pid,
+			"tid":  rec.ID,
+			"ts":   float64(e.Start.UnixNano()) / 1e3,
+			"args": map[string]any{
+				"file": rec.File, "seg": rec.Seg,
+				"tier": e.Tier, "class": rec.Class.String(),
+				"trace_id": rec.ID,
+			},
+		}
+		if e.Nanos > 0 {
+			ev["ph"] = "X"
+			ev["dur"] = float64(e.Nanos) / 1e3
+		} else {
+			ev["ph"] = "i"
+			ev["s"] = "t"
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
 // WriteTraceJSON renders lifecycle traces as a Chrome trace_event
 // document. node labels the process in otherData.
 func WriteTraceJSON(w io.Writer, node string, recs []TraceRecord) error {
 	evs := make([]map[string]any, 0, len(recs)*4)
 	for _, rec := range recs {
-		label := fmt.Sprintf("%s#%d", rec.File, rec.Seg)
-		if rec.Done {
-			label += " [" + rec.Class.String() + "]"
-		}
-		evs = append(evs, map[string]any{
-			"name": "thread_name", "ph": "M", "pid": 1, "tid": rec.ID,
-			"args": map[string]any{"name": label},
-		})
-		for _, e := range rec.Events {
-			ev := map[string]any{
-				"name": e.Stage,
-				"cat":  "hfetch",
-				"pid":  1,
-				"tid":  rec.ID,
-				"ts":   float64(e.Start.UnixNano()) / 1e3,
-				"args": map[string]any{
-					"file": rec.File, "seg": rec.Seg,
-					"tier": e.Tier, "class": rec.Class.String(),
-					"trace_id": rec.ID,
-				},
-			}
-			if e.Nanos > 0 {
-				ev["ph"] = "X"
-				ev["dur"] = float64(e.Nanos) / 1e3
-			} else {
-				ev["ph"] = "i"
-				ev["s"] = "t"
-			}
-			evs = append(evs, ev)
-		}
+		evs = appendRecEvents(evs, 1, rec)
 	}
 	doc := map[string]any{
 		"traceEvents":     evs,
 		"displayTimeUnit": "ms",
 		"otherData":       map[string]any{"node": node, "format": "hfetch-lifecycle"},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// NodeTraces pairs one node's name with its exported lifecycle traces,
+// for fleet trace export.
+type NodeTraces struct {
+	Node string
+	Recs []TraceRecord
+}
+
+// WriteFleetTraceJSON renders traces from several nodes as one Chrome
+// trace_event document with one process lane (pid) per node: pids are
+// assigned in sorted node-name order and labeled with process_name
+// metadata, so Perfetto shows a track group per node. A trace ID that
+// appears under several pids (a propagated cross-node trace) shows the
+// same lifecycle spanning lanes.
+func WriteFleetTraceJSON(w io.Writer, lanes []NodeTraces) error {
+	sorted := append([]NodeTraces(nil), lanes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	names := []string{}
+	evs := []map[string]any{}
+	for i, lane := range sorted {
+		pid := i + 1
+		names = append(names, lane.Node)
+		evs = append(evs, map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]any{"name": lane.Node},
+		})
+		for _, rec := range lane.Recs {
+			evs = appendRecEvents(evs, pid, rec)
+		}
+	}
+	doc := map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+		"otherData":       map[string]any{"nodes": names, "format": "hfetch-lifecycle-fleet"},
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -1,9 +1,12 @@
 package hfetch_test
 
 import (
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hfetch"
+	"hfetch/internal/telemetry"
 )
 
 // benchCluster boots a single free-device node and returns an open file
@@ -67,4 +70,32 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 		})
 	}
+
+	// The stall watchdog samples probes from its own goroutine; the read
+	// path never touches it, so a running watchdog must cost the read
+	// loop nothing beyond scheduler noise.
+	b.Run("lifecycle+watchdog", func(b *testing.B) {
+		f := benchCluster(b, true, true)
+		var reads atomic.Int64
+		wd := telemetry.NewWatchdog(telemetry.WatchdogConfig{
+			Stall:    time.Second,
+			Interval: 10 * time.Millisecond,
+		})
+		wd.AddProbe(telemetry.WatchdogProbe{
+			Name:     "bench-reads",
+			Pending:  func() int64 { return 1 },
+			Progress: reads.Load,
+		})
+		wd.Start()
+		b.Cleanup(wd.Stop)
+		buf := make([]byte, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := int64(i%256) * 4096
+			if _, err := f.ReadAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+			reads.Add(1)
+		}
+	})
 }
