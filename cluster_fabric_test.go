@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"hfetch/internal/harness/leakcheck"
 	"hfetch/internal/telemetry"
 )
 
@@ -28,6 +29,7 @@ func fabricConfig(nodes int) Config {
 // a local miss whose mapping points at a peer is served from the peer's
 // tier (over comm), not from the PFS.
 func TestFabricServesLocalMissFromPeerTier(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cluster, err := NewCluster(fabricConfig(3))
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +90,7 @@ func TestFabricServesLocalMissFromPeerTier(t *testing.T) {
 // asserts the survivors converge and every read keeps succeeding. The
 // CI cluster-smoke job drives this test.
 func TestFabricTCPSmoke(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cfg := fabricConfig(3)
 	cfg.ClusterTransport = "tcp"
 	cluster, err := NewCluster(cfg)
@@ -167,6 +170,7 @@ func TestFabricTCPSmoke(t *testing.T) {
 // reads that mapped to the dead node's tiers fall back to the PFS with
 // intact data.
 func TestFabricNodeDeathDegradesToPFS(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cluster, err := NewCluster(fabricConfig(3))
 	if err != nil {
 		t.Fatal(err)
@@ -241,6 +245,7 @@ func TestFabricNodeDeathDegradesToPFS(t *testing.T) {
 // the same trace ID, and the fleet Perfetto export shows the one
 // lifecycle spanning both node lanes.
 func TestFabricTracePropagation(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cfg := fabricConfig(2)
 	cfg.EnableLifecycle = true
 	cfg.LifecycleSampleEvery = 1 // trace every access: the test needs determinism

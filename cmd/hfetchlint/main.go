@@ -3,22 +3,27 @@
 //
 // Usage:
 //
-//	go run ./cmd/hfetchlint [-analyzers lockorder,hotpath] [-list] [packages]
+//	go run ./cmd/hfetchlint [-analyzers lockorder,hotpath] [-list] [-json] [packages]
 //
 // With no packages it analyzes ./... . Exit status is 1 when any
 // finding survives //lint:allow filtering, 2 on usage or load errors.
-// See STATIC_ANALYSIS.md for each analyzer's rule and the annotation
-// grammar.
+// -json emits one object per finding on stdout instead of the
+// file:line:col text form. See STATIC_ANALYSIS.md for each analyzer's
+// rule and the annotation grammar.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"hfetch/internal/analysis/atomicmix"
+	"hfetch/internal/analysis/bufown"
+	"hfetch/internal/analysis/driftcheck"
 	"hfetch/internal/analysis/framework"
+	"hfetch/internal/analysis/goleak"
 	"hfetch/internal/analysis/hotpath"
 	"hfetch/internal/analysis/lockorder"
 	"hfetch/internal/analysis/nilsafe"
@@ -31,13 +36,26 @@ var suite = []*framework.Analyzer{
 	nilsafe.Analyzer,
 	atomicmix.Analyzer,
 	pairing.Analyzer,
+	bufown.Analyzer,
+	goleak.Analyzer,
+	driftcheck.Analyzer,
+}
+
+// finding is the -json output shape, one object per diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list analyzers and exit")
-		names  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-		strict = flag.Bool("strict-types", false, "fail on typechecking errors instead of warning")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		names   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		strict  = flag.Bool("strict-types", false, "fail on typechecking errors instead of warning")
+		jsonOut = flag.Bool("json", false, "emit findings as JSON objects, one per line")
 	)
 	flag.Parse()
 
@@ -94,8 +112,25 @@ func main() {
 		return
 	}
 	fset := pkgs[0].Fset
-	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if err := enc.Encode(finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "hfetchlint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	os.Exit(1)
 }

@@ -13,9 +13,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hfetch/internal/harness/leakcheck"
 )
 
 func TestRandomizedConcurrentWorkload(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cfg := fastConfig(1)
 	cluster, err := NewCluster(cfg)
 	if err != nil {
@@ -78,6 +81,7 @@ func TestRandomizedConcurrentWorkload(t *testing.T) {
 }
 
 func TestWriterReaderConsistency(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cluster, _ := NewCluster(fastConfig(1))
 	defer cluster.Stop()
 	const size = 16 * 4096
@@ -115,6 +119,7 @@ func TestWriterReaderConsistency(t *testing.T) {
 }
 
 func TestHeatmapSurvivesClusterRestart(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	heatDir := filepath.Join(t.TempDir(), "heat")
 	mk := func() *Cluster {
 		cfg := fastConfig(1)
@@ -157,6 +162,7 @@ func TestHeatmapSurvivesClusterRestart(t *testing.T) {
 }
 
 func TestOpenCloseStorm(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cluster, _ := NewCluster(fastConfig(1))
 	defer cluster.Stop()
 	cluster.CreateFile("storm", 8*4096)
@@ -188,6 +194,7 @@ func TestOpenCloseStorm(t *testing.T) {
 // tiny scale: on a shared, re-read workflow, HFetch beats no-prefetching
 // by a wide margin (the paper reports >50%).
 func TestHeadlineShape(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	if testing.Short() {
 		t.Skip("timing-based")
 	}
@@ -237,6 +244,7 @@ func TestHeadlineShape(t *testing.T) {
 }
 
 func TestByteLevelIntegrityAcrossDemotions(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	// Tiny RAM forces constant demotion churn between tiers; every byte
 	// must still be correct.
 	cfg := fastConfig(1)
@@ -273,6 +281,7 @@ func TestByteLevelIntegrityAcrossDemotions(t *testing.T) {
 }
 
 func TestMLExtensionTrainsOnline(t *testing.T) {
+	defer leakcheck.Guard(t)()
 	cfg := fastConfig(1)
 	cfg.EnableML = true
 	cluster, err := NewCluster(cfg)

@@ -1,0 +1,502 @@
+// Package driftcheck cross-checks the repo's observable contracts
+// against their documentation so neither side drifts silently:
+//
+//   - every metric family registered in code must have a row in
+//     DESIGN.md's exported-metrics table, and every documented row must
+//     still be registered somewhere (renamed or deleted metrics leave a
+//     stale row behind);
+//   - every row of README.md's knob table must name a real
+//     internal/config json tag, a real field on the public hfetch.Config
+//     struct, and (when it lists a flag) a flag actually wired in
+//     cmd/hfetchd;
+//   - every cmd/hfetchd flag must be mentioned in README.md, so new
+//     daemon switches cannot ship undocumented.
+//
+// Per-package Runs only collect facts (metric registrations, json tags,
+// Config fields, flag wiring) into Pass.Facts; the whole-tree Finish
+// hook unions them, parses the markdown tables, and reports one-sided
+// drift. Findings on markdown land at real file:line positions minted
+// via FileSet.AddFile, so editors and the CI problem matcher can jump
+// to the stale row.
+//
+// The Finish hook is inert unless both the telemetry and config marker
+// packages were among the loaded set: partial runs (self-linting only
+// internal/analysis, fixture loads) see no contract findings, while a
+// whole-tree `hfetchlint ./...` checks everything it can see.
+package driftcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"hfetch/internal/analysis/framework"
+)
+
+// Config parameterizes the analyzer so fixture tests can point it at a
+// miniature repo layout.
+type Config struct {
+	// MetricPrefix selects which registration names are "ours".
+	MetricPrefix string
+	// TelemetryPkg and ConfigPkg are the marker packages: the Finish
+	// hook only runs when both were loaded, so subset lints stay inert.
+	TelemetryPkg string
+	ConfigPkg    string
+	// RootPkg declares the package holding the public Config struct
+	// whose exported field names the README knob table cites.
+	RootPkg string
+	// MainPkg is the daemon package whose flag.* registrations define
+	// the documented CLI surface.
+	MainPkg string
+	// DesignPath and ReadmePath are the contract documents, relative to
+	// Root.
+	DesignPath string
+	ReadmePath string
+	// Root is the directory holding the documents. Empty means: derive
+	// the repo root from ConfigPkg's source location by stripping the
+	// package path suffix from its directory.
+	Root string
+}
+
+// DefaultConfig describes the real repo layout.
+func DefaultConfig() Config {
+	return Config{
+		MetricPrefix: "hfetch_",
+		TelemetryPkg: "hfetch/internal/telemetry",
+		ConfigPkg:    "hfetch/internal/config",
+		RootPkg:      "hfetch",
+		MainPkg:      "hfetch/cmd/hfetchd",
+		DesignPath:   "DESIGN.md",
+		ReadmePath:   "README.md",
+	}
+}
+
+// Analyzer checks code↔documentation contract drift with the default
+// repo layout.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+// regMethods are the telemetry.Registry registration methods whose
+// first argument names a metric family.
+var regMethods = map[string]bool{
+	"Counter":     true,
+	"CounterFunc": true,
+	"Gauge":       true,
+	"GaugeFunc":   true,
+	"Histogram":   true,
+	"CounterVec":  true,
+	"GaugeVec":    true,
+	"HistVec":     true,
+}
+
+// flagFuncs are the package-level flag constructors (and *FlagSet
+// methods of the same names) whose first argument names a flag.
+var flagFuncs = map[string]bool{
+	"Bool": true, "Int": true, "Int64": true, "Uint": true,
+	"Uint64": true, "Float64": true, "String": true, "Duration": true,
+}
+
+// facts is what one package's Run leaves behind for Finish.
+type facts struct {
+	metrics map[string]token.Pos // metric family -> first registration
+	knobs   map[string]bool      // json tag names (ConfigPkg only)
+	fields  map[string]bool      // exported Config fields (RootPkg only)
+	flags   map[string]token.Pos // flag names (MainPkg only)
+	dir     string               // directory of the package's first file
+}
+
+// NewAnalyzer builds a driftcheck instance for the given layout.
+func NewAnalyzer(cfg Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "driftcheck",
+		Doc:  "metric families, config knobs and daemon flags must stay in sync with DESIGN.md and README.md",
+	}
+	a.Run = func(pass *framework.Pass) error { return run(pass, cfg) }
+	a.Finish = func(fc *framework.FinishContext) error { return finish(fc, cfg) }
+	return a
+}
+
+func run(pass *framework.Pass, cfg Config) error {
+	f := &facts{
+		metrics: map[string]token.Pos{},
+		knobs:   map[string]bool{},
+		fields:  map[string]bool{},
+		flags:   map[string]token.Pos{},
+	}
+	pass.Facts = f
+	if len(pass.Files) > 0 {
+		f.dir = filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	}
+	pkgPath := ""
+	if pass.Pkg != nil {
+		pkgPath = pass.Pkg.Path()
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			collectMetric(pass, cfg, f, call)
+			if pkgPath == cfg.MainPkg {
+				collectFlag(pass, f, call)
+			}
+			return true
+		})
+	}
+	if pkgPath == cfg.ConfigPkg {
+		collectKnobs(pass, f)
+	}
+	if pkgPath == cfg.RootPkg {
+		collectFields(pass, f)
+	}
+	return nil
+}
+
+// collectMetric records a registration call's metric family. The name
+// argument may be a literal or any constant string expression
+// (e.g. telemetry.StageHistName), so it is resolved through the
+// typechecker's constant folding.
+func collectMetric(pass *framework.Pass, cfg Config, f *facts, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !regMethods[sel.Sel.Name] || len(call.Args) < 1 {
+		return
+	}
+	name, ok := constString(pass, call.Args[0])
+	if !ok || !strings.HasPrefix(name, cfg.MetricPrefix) {
+		return
+	}
+	if _, seen := f.metrics[name]; !seen {
+		f.metrics[name] = call.Args[0].Pos()
+	}
+}
+
+func collectFlag(pass *framework.Pass, f *facts, call *ast.CallExpr) {
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "flag" || !flagFuncs[fn.Name()] || len(call.Args) < 1 {
+		return
+	}
+	name, ok := constString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	if _, seen := f.flags[name]; !seen {
+		f.flags[name] = call.Args[0].Pos()
+	}
+}
+
+// collectKnobs gathers every json tag name declared on a struct field
+// in the config package.
+func collectKnobs(pass *framework.Pass, f *facts) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if fld.Tag == nil {
+					continue
+				}
+				tag := strings.Trim(fld.Tag.Value, "`")
+				name := jsonTagName(tag)
+				if name != "" {
+					f.knobs[name] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectFields gathers the exported field names of the package's
+// Config struct.
+func collectFields(pass *framework.Pass, f *facts) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Config" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, id := range fld.Names {
+						if id.IsExported() {
+							f.fields[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func constString(pass *framework.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// jsonTagName extracts the name part of a `json:"name,opts"` tag.
+func jsonTagName(tag string) string {
+	const key = `json:"`
+	i := strings.Index(tag, key)
+	if i < 0 {
+		return ""
+	}
+	rest := tag[i+len(key):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return ""
+	}
+	name := rest[:j]
+	if k := strings.Index(name, ","); k >= 0 {
+		name = name[:k]
+	}
+	if name == "" || name == "-" {
+		return ""
+	}
+	return name
+}
+
+// --- Finish: union facts, parse documents, report drift -------------
+
+// metricRowRe matches a DESIGN.md exported-metrics table row and
+// captures the family name (label set stripped).
+var metricRowRe = regexp.MustCompile("^\\| `([a-z0-9_]+)(?:\\{[^}]*\\})?` \\|")
+
+// knobRowRe matches a README.md knob table row:
+// | `json_name` / `Field` | ... or | `json_name` / `Field` / `-flag` | ...
+var knobRowRe = regexp.MustCompile("^\\| `([a-z0-9_]+)` / `([A-Za-z][A-Za-z0-9]*)`(?: / `-([a-z0-9-]+)`)? \\|")
+
+type docFile struct {
+	path  string
+	data  string
+	lines []int // byte offset of each line start
+	tf    *token.File
+}
+
+func finish(fc *framework.FinishContext, cfg Config) error {
+	merged := &facts{
+		metrics: map[string]token.Pos{},
+		knobs:   map[string]bool{},
+		fields:  map[string]bool{},
+		flags:   map[string]token.Pos{},
+	}
+	var haveTelemetry, haveConfig, haveMain, haveRoot bool
+	var configDir string
+	for _, pass := range fc.Passes {
+		pf, ok := pass.Facts.(*facts)
+		if !ok || pass.Pkg == nil {
+			continue
+		}
+		pkgPath := pass.Pkg.Path()
+		if pkgPath == cfg.TelemetryPkg {
+			haveTelemetry = true
+		}
+		if pkgPath == cfg.ConfigPkg {
+			haveConfig = true
+			configDir = pf.dir
+		}
+		if pkgPath == cfg.MainPkg {
+			haveMain = true
+		}
+		if pkgPath == cfg.RootPkg {
+			haveRoot = true
+		}
+		for name, pos := range pf.metrics {
+			if _, seen := merged.metrics[name]; !seen {
+				merged.metrics[name] = pos
+			}
+		}
+		for name := range pf.knobs {
+			merged.knobs[name] = true
+		}
+		for name := range pf.fields {
+			merged.fields[name] = true
+		}
+		for name, pos := range pf.flags {
+			if _, seen := merged.flags[name]; !seen {
+				merged.flags[name] = pos
+			}
+		}
+	}
+	// Marker gate: without both halves of the contract in view, any
+	// comparison would report phantom drift.
+	if !haveTelemetry || !haveConfig {
+		return nil
+	}
+	root := cfg.Root
+	if root == "" {
+		root = deriveRoot(configDir, cfg.ConfigPkg)
+		if root == "" {
+			return fmt.Errorf("cannot derive repo root from %q for package %q", configDir, cfg.ConfigPkg)
+		}
+	}
+
+	design, err := loadDoc(fc.Fset, filepath.Join(root, cfg.DesignPath))
+	if err != nil {
+		return err
+	}
+	readme, err := loadDoc(fc.Fset, filepath.Join(root, cfg.ReadmePath))
+	if err != nil {
+		return err
+	}
+
+	checkMetrics(fc, cfg, merged, design)
+	checkKnobs(fc, cfg, merged, readme, haveMain, haveRoot)
+	if haveMain {
+		checkFlags(fc, cfg, merged, readme)
+	}
+	return nil
+}
+
+// deriveRoot strips the in-module path suffix of pkgPath ("m/a/b" ->
+// "a/b") from dir, yielding the module root directory.
+func deriveRoot(dir, pkgPath string) string {
+	if dir == "" {
+		return ""
+	}
+	segs := strings.Split(pkgPath, "/")
+	for i := 1; i < len(segs); i++ {
+		suffix := string(filepath.Separator) + filepath.Join(segs[i:]...)
+		if strings.HasSuffix(dir, suffix) {
+			return strings.TrimSuffix(dir, suffix)
+		}
+	}
+	return ""
+}
+
+// loadDoc reads a markdown file and registers it with the fileset so
+// findings can point into it.
+func loadDoc(fset *token.FileSet, path string) (*docFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("driftcheck contract document: %w", err)
+	}
+	d := &docFile{path: path, data: string(raw)}
+	d.lines = append(d.lines, 0)
+	for i, c := range raw {
+		if c == '\n' && i+1 < len(raw) {
+			d.lines = append(d.lines, i+1)
+		}
+	}
+	d.tf = fset.AddFile(path, -1, len(raw))
+	d.tf.SetLinesForContent(raw)
+	return d, nil
+}
+
+// linePos returns the token.Pos of the start of 1-based line n.
+func (d *docFile) linePos(n int) token.Pos {
+	if n < 1 || n > len(d.lines) {
+		return d.tf.Pos(0)
+	}
+	return d.tf.Pos(d.lines[n-1])
+}
+
+// eachLine calls fn with (1-based line number, line text).
+func (d *docFile) eachLine(fn func(n int, line string)) {
+	for i, off := range d.lines {
+		end := len(d.data)
+		if i+1 < len(d.lines) {
+			end = d.lines[i+1] - 1
+		}
+		line := strings.TrimRight(d.data[off:end], "\r\n")
+		fn(i+1, line)
+	}
+}
+
+func checkMetrics(fc *framework.FinishContext, cfg Config, merged *facts, design *docFile) {
+	documented := map[string]int{} // family -> doc line
+	design.eachLine(func(n int, line string) {
+		m := metricRowRe.FindStringSubmatch(line)
+		if m == nil || !strings.HasPrefix(m[1], cfg.MetricPrefix) {
+			return
+		}
+		if _, seen := documented[m[1]]; !seen {
+			documented[m[1]] = n
+		}
+	})
+	for name, pos := range merged.metrics {
+		if _, ok := documented[name]; !ok {
+			fc.Report(framework.Diagnostic{
+				Pos: pos,
+				Message: fmt.Sprintf("metric family %q is registered but %s's exported-metrics table has no row for it; document it or drop the metric",
+					name, cfg.DesignPath),
+			})
+		}
+	}
+	for name, line := range documented {
+		if _, ok := merged.metrics[name]; !ok {
+			fc.Report(framework.Diagnostic{
+				Pos: design.linePos(line),
+				Message: fmt.Sprintf("%s documents metric family %q but nothing registers it; delete the stale row or restore the metric",
+					cfg.DesignPath, name),
+			})
+		}
+	}
+}
+
+func checkKnobs(fc *framework.FinishContext, cfg Config, merged *facts, readme *docFile, haveMain, haveRoot bool) {
+	readme.eachLine(func(n int, line string) {
+		m := knobRowRe.FindStringSubmatch(line)
+		if m == nil {
+			return
+		}
+		jsonName, field, flagName := m[1], m[2], m[3]
+		if !merged.knobs[jsonName] {
+			fc.Report(framework.Diagnostic{
+				Pos: readme.linePos(n),
+				Message: fmt.Sprintf("%s knob table names json tag %q but the config package declares no such tag",
+					cfg.ReadmePath, jsonName),
+			})
+		}
+		if haveRoot && !merged.fields[field] {
+			fc.Report(framework.Diagnostic{
+				Pos: readme.linePos(n),
+				Message: fmt.Sprintf("%s knob table names Config field %q but the public Config struct has no such field",
+					cfg.ReadmePath, field),
+			})
+		}
+		if haveMain && flagName != "" {
+			if _, ok := merged.flags[flagName]; !ok {
+				fc.Report(framework.Diagnostic{
+					Pos: readme.linePos(n),
+					Message: fmt.Sprintf("%s knob table lists flag -%s but the daemon does not register it",
+						cfg.ReadmePath, flagName),
+				})
+			}
+		}
+	})
+}
+
+// checkFlags requires every daemon flag to be mentioned (as `-name`
+// preceded by whitespace, a backquote or a parenthesis) somewhere in
+// the README.
+func checkFlags(fc *framework.FinishContext, cfg Config, merged *facts, readme *docFile) {
+	for name, pos := range merged.flags {
+		re := regexp.MustCompile(`(^|[\s` + "`" + `(])-` + regexp.QuoteMeta(name) + `($|[^a-z0-9-])`)
+		if re.MatchString(readme.data) {
+			continue
+		}
+		fc.Report(framework.Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("daemon flag -%s is not mentioned anywhere in %s; document it in the knob table or prose",
+				name, cfg.ReadmePath),
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package driftcheck
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"hfetch/internal/analysis/framework"
+)
+
+const fixturePkg = "hfetch/internal/analysis/driftcheck/testdata/src/driftfixture"
+
+func fixtureConfig() Config {
+	return Config{
+		MetricPrefix: "hfetch_",
+		TelemetryPkg: fixturePkg,
+		ConfigPkg:    fixturePkg,
+		RootPkg:      fixturePkg,
+		MainPkg:      fixturePkg,
+		DesignPath:   "DESIGN.md",
+		ReadmePath:   "README.md",
+		Root:         "testdata/src/driftfixture",
+	}
+}
+
+func runFixture(t *testing.T, cfg Config) ([]framework.Diagnostic, *token.FileSet) {
+	t.Helper()
+	pkgs, err := framework.Load(".", "./testdata/src/driftfixture")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages matched fixture pattern")
+	}
+	diags, err := framework.Run(pkgs, []*framework.Analyzer{NewAnalyzer(cfg)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags, pkgs[0].Fset
+}
+
+// TestDriftFixture is the acceptance demonstration: a metric or knob
+// added on one side only makes the lint (and therefore CI) fail, with
+// findings pointing at the offending code line or markdown row.
+func TestDriftFixture(t *testing.T) {
+	diags, fset := runFixture(t, fixtureConfig())
+
+	type want struct {
+		fileFrag string // substring of the reported filename
+		msgFrag  string
+	}
+	wants := []want{
+		{"driftfixture.go", `metric family "hfetch_fix_rogue_depth" is registered but DESIGN.md's exported-metrics table has no row`},
+		{"DESIGN.md", `DESIGN.md documents metric family "hfetch_fix_ghost_total" but nothing registers it`},
+		{"README.md", `README.md knob table names json tag "phantom_knob" but the config package declares no such tag`},
+		{"README.md", `README.md knob table names Config field "PhantomKnob" but the public Config struct has no such field`},
+		{"README.md", `README.md knob table lists flag -phantom-knob but the daemon does not register it`},
+		{"driftfixture.go", `daemon flag -hidden-switch is not mentioned anywhere in README.md`},
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			if strings.Contains(pos.Filename, w.fileFrag) && strings.Contains(d.Message, w.msgFrag) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected finding %q in %s", w.msgFrag, w.fileFrag)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected finding at %s: %s", fset.Position(d.Pos), d.Message)
+		}
+	}
+
+	// Markdown findings must carry real line numbers: the ghost row is
+	// DESIGN.md line 9, the phantom row README.md line 9.
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "DESIGN.md") && pos.Line != 9 {
+			t.Errorf("DESIGN.md finding at line %d, want 9", pos.Line)
+		}
+		if strings.HasSuffix(pos.Filename, "README.md") && pos.Line != 9 {
+			t.Errorf("README.md finding at line %d, want 9", pos.Line)
+		}
+	}
+}
+
+// TestDriftInertWithoutMarkers checks the Finish gate: when the
+// telemetry/config marker packages were not loaded (subset lints), no
+// contract findings appear at all.
+func TestDriftInertWithoutMarkers(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.TelemetryPkg = "hfetch/internal/telemetry" // not in the loaded set
+	if diags, _ := runFixture(t, cfg); len(diags) != 0 {
+		t.Fatalf("expected no findings without markers, got %d: %v", len(diags), diags)
+	}
+}

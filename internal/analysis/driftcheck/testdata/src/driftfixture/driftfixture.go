@@ -1,0 +1,44 @@
+// Package driftfixture is the driftcheck fixture: a miniature repo
+// with a registry, a config struct, daemon flags, and sibling DESIGN.md
+// / README.md documents that are deliberately out of sync with the
+// code in both directions.
+package driftfixture
+
+import "flag"
+
+// Registry mimics telemetry.Registry's registration surface; driftcheck
+// matches registration calls by method name.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labelPairs ...string) int { return 0 }
+func (r *Registry) GaugeFunc(name, help string, fn func() int64)        {}
+func (r *Registry) HistVec(name, help, label string) int                { return 0 }
+func (r *Registry) Lookup(name string) int                              { return 0 }
+
+// WellKnown proves constant names resolve like literals do.
+const WellKnown = "hfetch_fix_const_total"
+
+// Config mimics the public hfetch.Config; README's knob table cites
+// its exported field names.
+type Config struct {
+	GoodKnob   int  `json:"good_knob"`
+	QuietKnob  bool `json:"quiet_knob,omitempty"`
+	unexported int  `json:"sneaky"`
+}
+
+// Register registers one documented family, one undocumented family,
+// and one const-named family; it also queries a family by name, which
+// must NOT count as a registration.
+func Register(r *Registry) {
+	r.Counter("hfetch_fix_good_total", "documented")
+	r.GaugeFunc("hfetch_fix_rogue_depth", "undocumented: code-side drift", nil)
+	r.HistVec(WellKnown, "documented via const", "tier")
+	r.Lookup("hfetch_fix_phantom_total") // consumer lookup, not a registration
+}
+
+// Flags wires the daemon flags: good-knob is documented in README's
+// knob table, hidden-switch appears nowhere in README.
+func Flags() {
+	_ = flag.Int("good-knob", 0, "documented knob override")
+	_ = flag.Bool("hidden-switch", false, "undocumented: flag-side drift")
+}

@@ -1,0 +1,429 @@
+package framework
+
+// This file is the framework's control-flow-graph builder: basic blocks
+// over one function body, with edges for branches, loops (break /
+// continue / labels / goto), switch fallthrough, select, panic, and a
+// defer-aware exit path. It is deliberately AST-only — no type
+// information is needed — so fixtures and unit tests can build graphs
+// straight from parsed source.
+//
+// Conventions analyzers rely on:
+//
+//   - Entry is the first block, Exit the unique last one. Every return,
+//     panic and natural fall-off-the-end routes to Exit *through the
+//     defer chain*: one block per `defer` statement, in LIFO order,
+//     whose single node is a DeferredCall wrapping the deferred call.
+//     The DeferStmt itself stays in its home block as the registration
+//     point. A defer registered on only some paths still appears in the
+//     chain once — analyzers that need must-run semantics should key off
+//     the registration instead (see bufown).
+//
+//   - A block whose Branch field is non-nil ends in a two-way
+//     conditional: Succs[0] is the true edge and Succs[1] the false
+//     edge. Dataflow analyses use this with Flow.Refine for
+//     branch-sensitive facts. Multi-way branches (switch, select) have
+//     Branch == nil and one successor per case.
+//
+//   - Function literals are opaque: their bodies are never descended
+//     into. Analyzers build a separate CFG per literal.
+//
+//   - Blocks with no predecessors (other than Entry) are unreachable —
+//     statements after a return, or break-only loop exits. Solvers skip
+//     them naturally because their in-fact stays ⊥.
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists the function's defer statements in registration
+	// (textual/execution) order; the exit chain runs them in reverse.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: nodes executed in order, then a jump.
+type Block struct {
+	Index int
+	// Kind labels the block's structural role for tests and debugging:
+	// entry, exit, body, if.then, if.else, if.done, for.head, for.body,
+	// for.post, for.done, range.head, range.body, range.done,
+	// switch.case, switch.done, select.comm, select.done, label.<name>,
+	// defer, dead.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Branch is the controlling condition when this block ends in a
+	// two-way branch: Succs[0] is taken when Branch is true, Succs[1]
+	// when false.
+	Branch ast.Expr
+}
+
+// DeferredCall wraps a deferred call re-materialized on the exit chain,
+// so transfer functions can tell "the deferred call runs now" apart
+// from the registration-time DeferStmt (whose arguments evaluate at
+// registration).
+type DeferredCall struct{ *ast.CallExpr }
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	cfg := &CFG{}
+	b := &builder{cfg: cfg, labels: make(map[string]*Block)}
+	cfg.Entry = b.newBlock("entry")
+	b.cur = cfg.Entry
+	b.stmts(body.List)
+	b.exits = append(b.exits, b.cur)
+
+	cfg.Exit = b.newBlock("exit")
+	// Defer chain: last registered runs first, so walk registrations
+	// forward building the chain back from Exit.
+	chain := cfg.Exit
+	for _, d := range cfg.Defers {
+		blk := b.newBlock("defer")
+		blk.Nodes = append(blk.Nodes, DeferredCall{d.Call})
+		blk.Succs = append(blk.Succs, chain)
+		chain = blk
+	}
+	for _, e := range b.exits {
+		e.Succs = append(e.Succs, chain)
+	}
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return cfg
+}
+
+// String renders the graph compactly for test failures.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		succs := make([]string, len(b.Succs))
+		for i, s := range b.Succs {
+			succs[i] = fmt.Sprintf("b%d", s.Index)
+		}
+		fmt.Fprintf(&sb, "b%d %s [%d nodes] -> %s\n",
+			b.Index, b.Kind, len(b.Nodes), strings.Join(succs, ","))
+	}
+	return sb.String()
+}
+
+// frame tracks the break/continue targets of one enclosing loop,
+// switch or select (continueTo is nil for the latter two).
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+type builder struct {
+	cfg    *CFG
+	cur    *Block
+	exits  []*Block // blocks that jump to the function exit
+	frames []frame
+	labels map[string]*Block // goto / labeled-statement targets
+	// fallTo is the next case block while building a switch case, the
+	// target of a fallthrough statement.
+	fallTo *Block
+	// pendingLabel names the label wrapping the next loop/switch so
+	// `break L` / `continue L` resolve.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// jumpExit ends the current block on a path to the function exit.
+func (b *builder) jumpExit() {
+	b.exits = append(b.exits, b.cur)
+	b.cur = b.newBlock("dead")
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicExpr(s.X) {
+			b.jumpExit()
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpExit()
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.IfStmt:
+		b.buildIf(s)
+	case *ast.ForStmt:
+		b.buildFor(s)
+	case *ast.RangeStmt:
+		b.buildRange(s)
+	case *ast.SwitchStmt:
+		b.buildCases(s, s.Init, s.Tag, nil, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.buildCases(s, s.Init, nil, s.Assign, s.Body, false)
+	case *ast.SelectStmt:
+		b.buildSelect(s)
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+	case *ast.LabeledStmt:
+		target, ok := b.labels[s.Label.Name]
+		if !ok {
+			target = b.newBlock("label." + s.Label.Name)
+			b.labels[s.Label.Name] = target
+		}
+		b.edge(b.cur, target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	default:
+		// Assignments, declarations, inc/dec, sends, go statements,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) buildIf(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	cond := b.cur
+	cond.Nodes = append(cond.Nodes, s.Cond)
+	cond.Branch = s.Cond
+
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	b.edge(cond, then)
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.newBlock("if.else")
+		b.edge(cond, elseB)
+	} else {
+		b.edge(cond, done)
+	}
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.edge(b.cur, done)
+	if elseB != nil {
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.edge(b.cur, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) buildFor(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Branch = s.Cond
+		b.edge(head, body)
+		b.edge(head, done)
+	} else {
+		// `for {}`: done is reachable only through break.
+		b.edge(head, body)
+	}
+	latch := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		latch = post
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: latch})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, latch)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+	_ = post
+}
+
+func (b *builder) buildRange(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	head.Nodes = append(head.Nodes, s)
+	b.edge(b.cur, head)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, done)
+	b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// buildCases handles switch and type-switch: one block per case, all
+// fed from the head, fallthrough edges between consecutive cases.
+func (b *builder) buildCases(s ast.Stmt, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFall bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	done := b.newBlock("switch.done")
+
+	var cases []*Block
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		cb := b.newBlock("switch.case")
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, cb)
+		cases = append(cases, cb)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+	savedFall := b.fallTo
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		b.fallTo = nil
+		if allowFall && i+1 < len(cases) {
+			b.fallTo = cases[i+1]
+		}
+		b.cur = cases[i]
+		b.stmts(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.fallTo = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) buildSelect(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		cb := b.newBlock("select.comm")
+		b.edge(head, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) buildBranch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.frameTarget(label, false); t != nil {
+			b.edge(b.cur, t)
+		}
+	case "continue":
+		if t := b.frameTarget(label, true); t != nil {
+			b.edge(b.cur, t)
+		}
+	case "goto":
+		target, ok := b.labels[label]
+		if !ok {
+			target = b.newBlock("label." + label)
+			b.labels[label] = target
+		}
+		b.edge(b.cur, target)
+	case "fallthrough":
+		if b.fallTo != nil {
+			b.edge(b.cur, b.fallTo)
+		}
+	}
+	b.cur = b.newBlock("dead")
+}
+
+// frameTarget resolves a break (wantContinue=false) or continue target,
+// optionally by label.
+func (b *builder) frameTarget(label string, wantContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if wantContinue {
+			if f.continueTo != nil {
+				return f.continueTo
+			}
+			if label != "" {
+				return nil
+			}
+			continue
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+func isPanicExpr(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

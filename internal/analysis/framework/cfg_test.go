@@ -1,0 +1,494 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a single function declaration
+// and returns its CFG.
+func parseBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+// kinds returns the multiset of block kinds, normalized (label.<x> → label).
+func kinds(c *CFG) map[string]int {
+	m := make(map[string]int)
+	for _, b := range c.Blocks {
+		k := b.Kind
+		if strings.HasPrefix(k, "label.") {
+			k = "label"
+		}
+		m[k]++
+	}
+	return m
+}
+
+// hasEdge reports a direct edge between two kinds (first match wins).
+func hasEdge(c *CFG, from, to string) bool {
+	for _, b := range c.Blocks {
+		if b.Kind != from {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Kind == to {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reaches reports whether Exit is reachable from Entry.
+func reaches(c *CFG, from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGIfElse(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x`)
+	k := kinds(c)
+	if k["if.then"] != 1 || k["if.else"] != 1 || k["if.done"] != 1 {
+		t.Fatalf("if/else blocks missing:\n%s", c)
+	}
+	// The entry block ends in the condition: two successors, true edge
+	// first, and Branch set.
+	var cond *Block
+	for _, b := range c.Blocks {
+		if b.Branch != nil {
+			cond = b
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("no two-way branch block:\n%s", c)
+	}
+	if cond.Succs[0].Kind != "if.then" || cond.Succs[1].Kind != "if.else" {
+		t.Fatalf("branch edge order wrong (want then,else): %s -> %s,%s",
+			cond.Kind, cond.Succs[0].Kind, cond.Succs[1].Kind)
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+}
+
+func TestCFGIfWithoutElseFallsThrough(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	if x > 0 {
+		return
+	}
+	x = 2
+	_ = x`)
+	var cond *Block
+	for _, b := range c.Blocks {
+		if b.Branch != nil {
+			cond = b
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 || cond.Succs[1].Kind != "if.done" {
+		t.Fatalf("false edge should go to if.done:\n%s", c)
+	}
+	// The then-branch returns: its block must route to Exit, not to
+	// if.done.
+	then := cond.Succs[0]
+	if got := then.Succs[0]; got != c.Exit {
+		t.Fatalf("return edge goes to %s, want exit:\n%s", got.Kind, c)
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	c := parseBody(t, `
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+	}`)
+	k := kinds(c)
+	if k["for.head"] != 1 || k["for.body"] != 1 || k["for.post"] != 1 || k["for.done"] != 1 {
+		t.Fatalf("for blocks missing: %v\n%s", k, c)
+	}
+	if !hasEdge(c, "if.then", "for.post") {
+		t.Fatalf("continue should edge to for.post:\n%s", c)
+	}
+	if !hasEdge(c, "if.then", "for.done") {
+		t.Fatalf("break should edge to for.done:\n%s", c)
+	}
+	if !hasEdge(c, "for.post", "for.head") {
+		t.Fatalf("post must loop back to head:\n%s", c)
+	}
+	// The head is a conditional branch: body on true, done on false.
+	for _, b := range c.Blocks {
+		if b.Kind == "for.head" {
+			if b.Branch == nil || b.Succs[0].Kind != "for.body" || b.Succs[1].Kind != "for.done" {
+				t.Fatalf("for.head branch shape wrong:\n%s", c)
+			}
+		}
+	}
+}
+
+func TestCFGRangeBreakContinue(t *testing.T) {
+	c := parseBody(t, `
+	xs := []int{1, 2, 3}
+	for _, x := range xs {
+		if x == 1 {
+			continue
+		}
+		if x == 2 {
+			break
+		}
+	}`)
+	if !hasEdge(c, "range.head", "range.body") || !hasEdge(c, "range.head", "range.done") {
+		t.Fatalf("range head edges missing:\n%s", c)
+	}
+	if !hasEdge(c, "if.then", "range.head") {
+		t.Fatalf("continue should edge back to range.head:\n%s", c)
+	}
+	if !hasEdge(c, "if.then", "range.done") {
+		t.Fatalf("break should edge to range.done:\n%s", c)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := parseBody(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	return`)
+	// break outer must edge from the inner body to the OUTER loop's
+	// done block, which then reaches exit.
+	var outerDone *Block
+	for _, b := range c.Blocks {
+		if b.Kind == "for.done" {
+			outerDone = b // first for.done created is the outer loop's
+			break
+		}
+	}
+	if outerDone == nil || !reaches(c, c.Entry, outerDone) {
+		t.Fatalf("labeled break misses outer done:\n%s", c)
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable through labeled break:\n%s", c)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	_ = x`)
+	k := kinds(c)
+	if k["switch.case"] != 3 || k["switch.done"] != 1 {
+		t.Fatalf("switch blocks missing: %v\n%s", k, c)
+	}
+	// fallthrough: case-1 block must have case-2's block as a successor.
+	var caseBlocks []*Block
+	for _, b := range c.Blocks {
+		if b.Kind == "switch.case" {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	found := false
+	for _, s := range caseBlocks[0].Succs {
+		if s == caseBlocks[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallthrough edge case1 -> case2 missing:\n%s", c)
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsThrough(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	switch x {
+	case 1:
+	}
+	_ = x`)
+	// Without a default, the head needs a direct edge to done.
+	if !hasEdge(c, "entry", "switch.done") {
+		t.Fatalf("no-default switch should edge head -> done:\n%s", c)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := parseBody(t, `
+	ch := make(chan int)
+	done := make(chan struct{})
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}`)
+	k := kinds(c)
+	if k["select.comm"] != 2 {
+		t.Fatalf("select comm blocks missing: %v\n%s", k, c)
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Fatalf("return inside select should reach exit:\n%s", c)
+	}
+}
+
+func TestCFGDeferChain(t *testing.T) {
+	c := parseBody(t, `
+	defer println("a")
+	defer println("b")
+	return`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(c.Defers))
+	}
+	// LIFO: the exit chain runs b then a. Walk from any exit jump.
+	var chain []*Block
+	for _, b := range c.Blocks {
+		if b.Kind == "defer" {
+			chain = append(chain, b)
+		}
+	}
+	if len(chain) != 2 {
+		t.Fatalf("want 2 defer blocks:\n%s", c)
+	}
+	// The chain entry (last registered) must be the one whose successor
+	// is the other defer block; the first registered feeds Exit.
+	var first, last *Block
+	for _, b := range chain {
+		if len(b.Succs) == 1 && b.Succs[0] == c.Exit {
+			first = b
+		} else if len(b.Succs) == 1 && b.Succs[0].Kind == "defer" {
+			last = b
+		}
+	}
+	if first == nil || last == nil || last.Succs[0] != first {
+		t.Fatalf("defer chain not LIFO:\n%s", c)
+	}
+	dcA, okA := first.Nodes[0].(DeferredCall)
+	dcB, okB := last.Nodes[0].(DeferredCall)
+	if !okA || !okB {
+		t.Fatalf("defer blocks must hold DeferredCall nodes")
+	}
+	if fmt.Sprint(dcA.Args[0]) == fmt.Sprint(dcB.Args[0]) {
+		t.Fatalf("defer chain blocks should wrap distinct calls")
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	c := parseBody(t, `
+	for i := 0; i < 3; i++ {
+		defer println(i)
+	}`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("want the loop defer recorded once, got %d", len(c.Defers))
+	}
+	// The registration stays in the loop body; the chain holds one
+	// DeferredCall between the exits and Exit.
+	if !hasEdge(c, "for.done", "defer") {
+		t.Fatalf("loop exit should route through the defer chain:\n%s", c)
+	}
+	if !hasEdge(c, "defer", "exit") {
+		t.Fatalf("defer chain should feed exit:\n%s", c)
+	}
+}
+
+func TestCFGPanicRoutesThroughDefers(t *testing.T) {
+	c := parseBody(t, `
+	defer func() { recover() }()
+	x := 1
+	if x > 0 {
+		panic("boom")
+	}
+	_ = x`)
+	// The panic terminates its block and must reach Exit via the defer
+	// chain (where the recover runs).
+	var panicBlock *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isPanicExpr(es.X) {
+				panicBlock = b
+			}
+		}
+	}
+	if panicBlock == nil {
+		t.Fatalf("panic block not found:\n%s", c)
+	}
+	if len(panicBlock.Succs) != 1 || panicBlock.Succs[0].Kind != "defer" {
+		t.Fatalf("panic should edge into the defer chain, got:\n%s", c)
+	}
+	if !reaches(c, panicBlock, c.Exit) {
+		t.Fatalf("panic path should reach exit:\n%s", c)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := parseBody(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}`)
+	if !hasEdge(c, "if.then", "label.loop") {
+		t.Fatalf("goto should edge to its label block:\n%s", c)
+	}
+	if !reaches(c, c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+}
+
+// --- dataflow fixpoint ------------------------------------------------
+
+// TestFlowForwardConvergence runs a "reached block count" analysis over
+// a doubly nested loop: the fact is a bounded counter set, so the
+// fixpoint must converge quickly and mark exactly the reachable blocks.
+func TestFlowForwardConvergence(t *testing.T) {
+	c := parseBody(t, `
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+		}
+	}`)
+	flow := &Flow{
+		CFG:      c,
+		Entry:    true,
+		Join:     func(a, b Fact) Fact { return a.(bool) || b.(bool) },
+		Transfer: func(_ *Block, in Fact) Fact { return in },
+		Equal:    func(a, b Fact) bool { return a.(bool) == b.(bool) },
+	}
+	res := flow.Solve()
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations:\n%s", res.Iterations, c)
+	}
+	if res.Iterations > len(c.Blocks)*4 {
+		t.Fatalf("too many iterations for a constant fact: %d over %d blocks",
+			res.Iterations, len(c.Blocks))
+	}
+	// Every block except dead ones must be reached.
+	for _, b := range c.Blocks {
+		if b.Kind == "dead" {
+			if res.In[b] != nil {
+				t.Fatalf("dead block b%d reached", b.Index)
+			}
+			continue
+		}
+		if res.In[b] == nil {
+			t.Fatalf("reachable block b%d %s not reached:\n%s", b.Index, b.Kind, c)
+		}
+	}
+}
+
+// TestFlowBranchRefinement checks Refine sees true/false edges in the
+// documented order: a fact of "which way did the test go" must differ
+// between then and else.
+func TestFlowBranchRefinement(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}`)
+	facts := map[string]string{}
+	flow := &Flow{
+		CFG:      c,
+		Entry:    "top",
+		Join:     func(a, b Fact) Fact { return a.(string) + "|" + b.(string) },
+		Transfer: func(_ *Block, in Fact) Fact { return in },
+		Refine: func(from, to *Block, out Fact) Fact {
+			if from.Branch == nil {
+				return out
+			}
+			if to == from.Succs[0] {
+				return "true-edge"
+			}
+			return "false-edge"
+		},
+		Equal: func(a, b Fact) bool { return a.(string) == b.(string) },
+	}
+	res := flow.Solve()
+	for _, b := range c.Blocks {
+		if f, ok := res.In[b].(string); ok {
+			facts[b.Kind] = f
+		}
+	}
+	if facts["if.then"] != "true-edge" || facts["if.else"] != "false-edge" {
+		t.Fatalf("refined facts wrong: %v\n%s", facts, c)
+	}
+}
+
+// TestFlowBackward runs a backward pass (a trivial liveness-style fact)
+// and checks it converges and reaches Entry.
+func TestFlowBackward(t *testing.T) {
+	c := parseBody(t, `
+	x := 1
+	for i := 0; i < 3; i++ {
+		x++
+	}
+	_ = x`)
+	flow := &Flow{
+		CFG:      c,
+		Entry:    1,
+		Join:     func(a, b Fact) Fact { return max(a.(int), b.(int)) },
+		Transfer: func(_ *Block, in Fact) Fact { return in },
+		Equal:    func(a, b Fact) bool { return a.(int) == b.(int) },
+		Backward: true,
+	}
+	res := flow.Solve()
+	if !res.Converged {
+		t.Fatalf("backward flow did not converge")
+	}
+	if res.In[c.Entry] == nil {
+		t.Fatalf("backward flow never reached entry:\n%s", c)
+	}
+}

@@ -1,0 +1,15 @@
+package goleak
+
+import (
+	"testing"
+
+	"hfetch/internal/analysis/analysistest"
+)
+
+func TestGoleakFixture(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/goleakfixture", Analyzer)
+}
+
+func TestGoleakClean(t *testing.T) {
+	analysistest.NoFindings(t, "./testdata/src/goleakclean", Analyzer)
+}

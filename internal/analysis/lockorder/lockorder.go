@@ -1,10 +1,12 @@
 // Package lockorder enforces ARCHITECTURE.md's lock-ordering chain.
 //
 // For every function it derives the set of manifest locks held at each
-// statement by a conservative syntactic walk (Lock/RLock acquire,
-// Unlock/RUnlock release, defer Unlock = held to function end,
-// branches merged by intersection, bodies of `go` statements and
-// function literals analyzed with an empty held set), then flags:
+// basic block by a forward dataflow over the framework CFG (Lock/RLock
+// acquire, Unlock/RUnlock release, defer Unlock = held until the exit
+// chain runs it, merge points joined by intersection so a lock counts
+// as held only when held on every inbound path, bodies of `go`
+// statements and function literals analyzed with an empty held set),
+// then flags:
 //
 //   - acquiring a lock whose rank is ≤ the rank of any lock already
 //     held (out-of-order, or a second lock of the same class);
@@ -18,7 +20,9 @@
 // The analysis is intra-procedural with one package-local call-graph
 // closure for barrier reachability; it does not track locks passed by
 // pointer into helpers, which matches how the repo actually structures
-// its critical sections.
+// its critical sections. Being CFG-based it is path-sensitive across
+// loops, labeled breaks, goto and switch fallthrough, which the old
+// syntactic walk approximated.
 package lockorder
 
 import (
@@ -90,6 +94,10 @@ type held struct {
 	pos  token.Pos
 }
 
+// lockFact is the dataflow fact: the set of manifest locks held at a
+// program point, with acquisition positions for the messages.
+type lockFact []held
+
 type checker struct {
 	pass    *framework.Pass
 	m       Manifest
@@ -100,6 +108,9 @@ type checker struct {
 	// reach marks package-local functions that transitively perform a
 	// barrier call.
 	reach map[*types.Func]bool
+	// silent suppresses reporting during the fixpoint iterations; the
+	// post-solve reporting pass clears it.
+	silent bool
 }
 
 // buildReach computes which functions declared in this package reach an
@@ -209,11 +220,36 @@ func (c *checker) lockTarget(call *ast.CallExpr) (rank int, acquire, ok bool) {
 	return r, acquire, known
 }
 
-// walkFunc analyzes one function body (or function literal) starting
-// with an empty held set, and queues nested literals the same way.
+// walkFunc analyzes one function body (or function literal) over its
+// CFG: the fixpoint runs silently to reach stable entry facts, then a
+// reporting pass re-transfers each reachable block so every finding is
+// emitted exactly once against the final facts. Nested literals are
+// queued the same way with an empty held set.
 func (c *checker) walkFunc(body *ast.BlockStmt) {
-	h, _ := c.block(body, nil)
-	_ = h
+	cfg := framework.NewCFG(body)
+	flow := &framework.Flow{
+		CFG:   cfg,
+		Entry: lockFact(nil),
+		Join: func(a, b framework.Fact) framework.Fact {
+			return lockFact(intersect(a.(lockFact), b.(lockFact)))
+		},
+		Transfer: func(b *framework.Block, in framework.Fact) framework.Fact {
+			return lockFact(c.transfer(b, clone(in.(lockFact))))
+		},
+		Equal: func(a, b framework.Fact) bool {
+			return sameLocks(a.(lockFact), b.(lockFact))
+		},
+	}
+	c.silent = true
+	res := flow.Solve()
+	c.silent = false
+	for _, blk := range cfg.Blocks {
+		in, ok := res.In[blk].(lockFact)
+		if !ok {
+			continue // unreachable
+		}
+		c.transfer(blk, clone(in))
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
 			c.walkFunc(lit.Body)
@@ -223,160 +259,75 @@ func (c *checker) walkFunc(body *ast.BlockStmt) {
 	})
 }
 
-func (c *checker) block(b *ast.BlockStmt, h []held) ([]held, bool) {
-	return c.stmts(b.List, h)
-}
-
-func (c *checker) stmts(list []ast.Stmt, h []held) ([]held, bool) {
-	for _, s := range list {
-		var term bool
-		h, term = c.stmt(s, h)
-		if term {
-			return h, true
-		}
+// transfer applies one block's nodes, in order, to the held set.
+func (c *checker) transfer(b *framework.Block, h []held) []held {
+	for _, n := range b.Nodes {
+		h = c.node(n, h)
 	}
-	return h, false
+	return h
 }
 
-func (c *checker) stmt(s ast.Stmt, h []held) ([]held, bool) {
-	switch s := s.(type) {
-	case nil:
-		return h, false
+func (c *checker) node(n ast.Node, h []held) []held {
+	switch n := n.(type) {
+	case framework.DeferredCall:
+		// The deferred call runs here on the exit chain: apply its lock
+		// effect (defer mu.Unlock() releases now) without re-walking
+		// argument expressions, which were evaluated at registration.
+		if r, acquire, ok := c.lockTarget(n.CallExpr); ok && !acquire {
+			return release(h, r)
+		}
+		return h
+	case ast.Expr:
+		// Branch conditions, switch tags, case expressions.
+		return c.expr(n, h)
 	case *ast.ExprStmt:
-		return c.expr(s.X, h), isPanic(s.X)
+		return c.expr(n.X, h)
 	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
+		for _, e := range n.Rhs {
 			h = c.expr(e, h)
 		}
-		for _, e := range s.Lhs {
+		for _, e := range n.Lhs {
 			h = c.expr(e, h)
 		}
-		return h, false
-	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
+		return h
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held until the exit chain —
+		// no effect at registration; later barrier calls correctly see
+		// it held. Argument expressions do evaluate now.
+		for _, a := range n.Call.Args {
+			h = c.expr(a, h)
+		}
+		return h
+	case *ast.GoStmt:
+		// The spawned goroutine holds nothing; its literal body is
+		// analyzed separately by walkFunc. Arguments evaluate now.
+		for _, a := range n.Call.Args {
+			h = c.expr(a, h)
+		}
+		return h
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			h = c.expr(e, h)
+		}
+		return h
+	case *ast.RangeStmt:
+		return c.expr(n.X, h)
+	case ast.Stmt:
+		// Declarations, inc/dec, sends, if-inits: straight-line
+		// statements whose embedded expressions may contain calls.
+		ast.Inspect(n, func(nn ast.Node) bool {
+			if _, ok := nn.(*ast.FuncLit); ok {
+				return false
+			}
+			if e, ok := nn.(ast.Expr); ok {
 				h = c.expr(e, h)
 				return false
 			}
 			return true
 		})
-		return h, false
-	case *ast.DeferStmt:
-		// `defer mu.Unlock()` keeps the lock held to function end —
-		// no state change; later barrier calls correctly see it held.
-		// Other deferred work runs at exit; skip its calls but still
-		// resolve locks *inside argument expressions* evaluated now.
-		for _, a := range s.Call.Args {
-			h = c.expr(a, h)
-		}
-		return h, false
-	case *ast.GoStmt:
-		// The spawned goroutine holds nothing; its literal body is
-		// analyzed separately by walkFunc. Arguments evaluate now.
-		for _, a := range s.Call.Args {
-			h = c.expr(a, h)
-		}
-		return h, false
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			h = c.expr(e, h)
-		}
-		return h, true
-	case *ast.BranchStmt:
-		return h, true
-	case *ast.BlockStmt:
-		return c.block(s, h)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			h, _ = c.stmt(s.Init, h)
-		}
-		h = c.expr(s.Cond, h)
-		hThen, termThen := c.block(s.Body, clone(h))
-		hElse, termElse := clone(h), false
-		if s.Else != nil {
-			hElse, termElse = c.stmt(s.Else, clone(h))
-		}
-		switch {
-		case termThen && termElse:
-			return h, false
-		case termThen:
-			return hElse, false
-		case termElse:
-			return hThen, false
-		default:
-			return intersect(hThen, hElse), false
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			h, _ = c.stmt(s.Init, h)
-		}
-		if s.Cond != nil {
-			h = c.expr(s.Cond, h)
-		}
-		c.block(s.Body, clone(h))
-		return h, false
-	case *ast.RangeStmt:
-		h = c.expr(s.X, h)
-		c.block(s.Body, clone(h))
-		return h, false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return c.branches(s, h)
-	case *ast.LabeledStmt:
-		return c.stmt(s.Stmt, h)
-	default:
-		return h, false
+		return h
 	}
-}
-
-// branches merges switch/select case bodies by intersection, like if.
-func (c *checker) branches(s ast.Stmt, h []held) ([]held, bool) {
-	var body *ast.BlockStmt
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			h, _ = c.stmt(s.Init, h)
-		}
-		if s.Tag != nil {
-			h = c.expr(s.Tag, h)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	var outs [][]held
-	hasDefault := false
-	for _, cl := range body.List {
-		var list []ast.Stmt
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			list = cl.Body
-			if cl.List == nil {
-				hasDefault = true
-			}
-		case *ast.CommClause:
-			if cl.Comm != nil {
-				c.stmt(cl.Comm, clone(h))
-			}
-			list = cl.Body
-		}
-		if out, term := c.stmts(list, clone(h)); !term {
-			outs = append(outs, out)
-		}
-	}
-	// A switch without default can fall through unchanged.
-	if !hasDefault {
-		outs = append(outs, h)
-	}
-	if len(outs) == 0 {
-		return h, false
-	}
-	merged := outs[0]
-	for _, o := range outs[1:] {
-		merged = intersect(merged, o)
-	}
-	return merged, false
+	return h
 }
 
 // expr processes every call in e against the held set, outside nested
@@ -406,12 +357,7 @@ func (c *checker) call(call *ast.CallExpr, h []held) []held {
 			c.checkAcquire(call.Pos(), r, h)
 			return append(h, held{rank: r, pos: call.Pos()})
 		}
-		for i := len(h) - 1; i >= 0; i-- {
-			if h[i].rank == r {
-				return append(h[:i:i], h[i+1:]...)
-			}
-		}
-		return h
+		return release(h, r)
 	}
 
 	direct := c.isBarrierCall(call)
@@ -429,11 +375,11 @@ func (c *checker) call(call *ast.CallExpr, h []held) []held {
 				continue
 			}
 			if direct {
-				c.pass.Reportf(call.Pos(),
+				c.reportf(call.Pos(),
 					"%s lock held across I/O call (acquired at %s); tier store locks are innermost and callbacks run lock-free",
 					name, c.pass.Fset.Position(hl.pos))
 			} else {
-				c.pass.Reportf(call.Pos(),
+				c.reportf(call.Pos(),
 					"%s lock held across call to %s, which reaches I/O (lock acquired at %s)",
 					name, via.Name(), c.pass.Fset.Position(hl.pos))
 			}
@@ -446,21 +392,28 @@ func (c *checker) checkAcquire(pos token.Pos, r int, h []held) {
 	for _, hl := range h {
 		switch {
 		case hl.rank == r:
-			c.pass.Reportf(pos,
+			c.reportf(pos,
 				"acquires a second %s lock while one is already held (at %s); never more than one of each kind",
 				c.m.Classes[r].Name, c.pass.Fset.Position(hl.pos))
 		case hl.rank > r:
-			c.pass.Reportf(pos,
+			c.reportf(pos,
 				"acquires %s lock while holding %s lock (at %s); chain order is %s",
 				c.m.Classes[r].Name, c.m.Classes[hl.rank].Name,
 				c.pass.Fset.Position(hl.pos), c.chain())
 		case c.m.Classes[hl.rank].ReleasedBefore:
-			c.pass.Reportf(pos,
+			c.reportf(pos,
 				"acquires %s lock while still holding %s lock (at %s); the %s lock must be released before taking any later lock",
 				c.m.Classes[r].Name, c.m.Classes[hl.rank].Name,
 				c.pass.Fset.Position(hl.pos), c.m.Classes[hl.rank].Name)
 		}
 	}
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.silent {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
 }
 
 func (c *checker) chain() string {
@@ -473,6 +426,16 @@ func (c *checker) chain() string {
 
 func clone(h []held) []held {
 	return append([]held(nil), h...)
+}
+
+// release drops the most recent lock of rank r from the set.
+func release(h []held, r int) []held {
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].rank == r {
+			return append(h[:i:i], h[i+1:]...)
+		}
+	}
+	return h
 }
 
 // intersect keeps locks present (by rank) in both sets, preserving a's
@@ -490,11 +453,17 @@ func intersect(a, b []held) []held {
 	return out
 }
 
-func isPanic(e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
+// sameLocks compares two held sets as (rank, pos) multisets in order —
+// the transfer is deterministic, so order-sensitive equality is enough
+// to bound the fixpoint.
+func sameLocks(a, b []held) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	return ok && id.Name == "panic"
+	for i := range a {
+		if a[i].rank != b[i].rank || a[i].pos != b[i].pos {
+			return false
+		}
+	}
+	return true
 }

@@ -68,3 +68,29 @@ func guardGatedEarly(g *nilfixture.Guard) {
 	}
 	g.Arm()
 }
+
+// guardProbeGated is the watchdog probe idiom: the closure is only
+// built inside the gate, so a disabled watchdog costs one branch.
+func guardProbeGated(r *nilfixture.Reg) {
+	if g := r.Guard(); g != nil {
+		g.Probe(func() int64 { return 1 })
+	}
+}
+
+// guardProbeUngated builds the closure without a gate.
+func guardProbeUngated(r *nilfixture.Reg) {
+	g := r.Guard()
+	g.Probe(func() int64 { return 1 }) // want `call to Guard.Probe outside a nil gate`
+}
+
+// guardManyCalls: one early gate covers every later call in the
+// function body.
+func guardManyCalls(r *nilfixture.Reg) {
+	g := r.Guard()
+	if g == nil {
+		return
+	}
+	g.Arm()
+	g.Probe(func() int64 { return 2 })
+	g.Arm()
+}

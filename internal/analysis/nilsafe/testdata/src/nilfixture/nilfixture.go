@@ -88,3 +88,12 @@ func (g *Guard) Arm() {
 func (g *Guard) BadArm() { // want `exported method Guard.BadArm must nil-check the receiver`
 	g.trips++
 }
+
+// Probe mirrors the watchdog's closure-registration surface; callers
+// must not build the closure when the guard is nil.
+func (g *Guard) Probe(fn func() int64) {
+	if g == nil {
+		return
+	}
+	g.trips += fn()
+}

@@ -1,19 +1,25 @@
 // Package pairing enforces resource pairing:
 //
 //   - Lock/Unlock: within a function, every mutex path that is locked
-//     (q.mu.Lock(), st.mu.RLock(), ...) must also be unlocked somewhere
-//     in the same function — a plain or deferred Unlock (RUnlock for
-//     RLock) on the same textual path. Handoff designs that return
-//     holding a lock are deliberate and carry //lint:allow pairing.
+//     (q.mu.Lock(), st.mu.RLock(), ...) must also be unlocked (RUnlock
+//     for RLock) in the same function. Two rules layer: a key with no
+//     release anywhere is flagged outright, and a key that is released
+//     somewhere is additionally checked path-sensitively over the
+//     framework CFG — every path from the acquire to function exit must
+//     run a matching release (deferred releases count via the exit
+//     chain), so an early return that skips the unlock is caught even
+//     though an unlock exists elsewhere. Keys whose release half lives
+//     in a nested function literal or is handed off as a method value
+//     are exempt from the path check; fully deliberate handoffs carry
+//     //lint:allow pairing.
 //
 //   - Start/Stop: a type whose constructor (New*) or Start method
 //     spawns goroutines (directly or by starting owned components)
 //     must declare a Stop, Close, Drain or Shutdown method, so every
 //     spawn has a reachable quiesce path.
 //
-// Both rules are intra-package and syntactic: they catch the "early
-// return leaks the lock" and "background loop with no off switch"
-// classes without whole-program analysis.
+// Both rules are intra-package; the lifecycle half is syntactic and the
+// lock half is CFG-based.
 package pairing
 
 import (
@@ -116,6 +122,220 @@ func checkLockPairing(pass *framework.Pass, fd *ast.FuncDecl) {
 				key[2:], verb, fd.Name.Name)
 		}
 	}
+	checkLockPaths(pass, fd, events)
+}
+
+// --- path-sensitive release check ------------------------------------
+
+// pathHeld is the per-key dataflow state: how many acquisitions are
+// outstanding on this path (clamped — only zero/nonzero matters at
+// exit) and where the first one happened.
+type pathHeld struct {
+	count int
+	pos   token.Pos
+}
+
+// heldFact maps lock keys to their outstanding state. Treated as
+// immutable by the transfer.
+type heldFact map[string]pathHeld
+
+// checkLockPaths runs the CFG dataflow: for every key that has a
+// release somewhere in the function (keys with none are already flagged
+// by the anywhere-rule), check that no path reaches function exit with
+// the lock still held. Deferred releases execute on the CFG's exit
+// chain, so `defer mu.Unlock()` balances every path.
+func checkLockPaths(pass *framework.Pass, fd *ast.FuncDecl, events map[string]*lockEvent) {
+	candidates := make(map[string]bool)
+	for key, ev := range events {
+		if len(ev.acquires) > 0 && ev.releases > 0 {
+			candidates[key] = true
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	exempt := exemptKeys(pass, fd.Body)
+
+	cfg := framework.NewCFG(fd.Body)
+	flow := &framework.Flow{
+		CFG:   cfg,
+		Entry: heldFact{},
+		Join:  joinHeld,
+		Transfer: func(b *framework.Block, in framework.Fact) framework.Fact {
+			h := cloneHeld(in.(heldFact))
+			for _, n := range b.Nodes {
+				transferNode(pass, n, h)
+			}
+			return h
+		},
+		Equal: equalHeld,
+	}
+	res := flow.Solve()
+	out, ok := res.Out[cfg.Exit].(heldFact)
+	if !ok || !res.Converged {
+		return
+	}
+	for key, ph := range out {
+		if ph.count == 0 || !candidates[key] || exempt[key] {
+			continue
+		}
+		pass.Reportf(ph.pos,
+			"%s locked but not released on every path out of %s; release before each return (or //lint:allow pairing for a deliberate handoff)",
+			key[2:], fd.Name.Name)
+	}
+}
+
+func transferNode(pass *framework.Pass, n ast.Node, h heldFact) {
+	switch n := n.(type) {
+	case framework.DeferredCall:
+		// The deferred call executes here, on the exit chain.
+		lockEffect(pass, n.CallExpr, h)
+	case *ast.DeferStmt:
+		// Registration only; the exit-chain DeferredCall applies it.
+	case *ast.GoStmt:
+		// Runs in another goroutine; its lock activity is not this
+		// function's obligation.
+	default:
+		ast.Inspect(n, func(nn ast.Node) bool {
+			switch nn := nn.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				lockEffect(pass, nn, h)
+			}
+			return true
+		})
+	}
+}
+
+// lockEffect applies one call's acquire/release to the fact in place
+// (h is this transfer's private clone).
+func lockEffect(pass *framework.Pass, call *ast.CallExpr, h heldFact) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	var acquire bool
+	var kind string
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, kind = true, "w"
+	case "RLock":
+		acquire, kind = true, "r"
+	case "Unlock":
+		kind = "w"
+	case "RUnlock":
+		kind = "r"
+	default:
+		return
+	}
+	if !isMutex(pass, sel.X) {
+		return
+	}
+	key := kind + "|" + exprPath(pass.Fset, sel.X)
+	ph := h[key]
+	if acquire {
+		if ph.count == 0 {
+			ph.pos = call.Pos()
+		}
+		if ph.count < 2 { // clamp: only zero/nonzero matters at exit
+			ph.count++
+		}
+	} else if ph.count > 0 {
+		ph.count--
+	}
+	h[key] = ph
+}
+
+// exemptKeys marks keys whose release half lives outside the
+// function's own CFG: a release call inside a nested function literal,
+// or a Lock/Unlock-family method value (handoff) anywhere in the body.
+func exemptKeys(pass *framework.Pass, body *ast.BlockStmt) map[string]bool {
+	exempt := make(map[string]bool)
+	calledFun := make(map[ast.Expr]bool)
+	var litBodies []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			calledFun[ast.Unparen(n.Fun)] = true
+		case *ast.FuncLit:
+			litBodies = append(litBodies, n.Body)
+		}
+		return true
+	})
+	mark := func(n ast.Node, requireValue bool) {
+		ast.Inspect(n, func(nn ast.Node) bool {
+			sel, ok := nn.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var kind string
+			switch sel.Sel.Name {
+			case "Lock", "Unlock":
+				kind = "w"
+			case "RLock", "RUnlock":
+				kind = "r"
+			default:
+				return true
+			}
+			if requireValue && calledFun[sel] {
+				return true
+			}
+			if !isMutex(pass, sel.X) {
+				return true
+			}
+			exempt[kind+"|"+exprPath(pass.Fset, sel.X)] = true
+			return true
+		})
+	}
+	for _, lb := range litBodies {
+		mark(lb, false)
+	}
+	mark(body, true)
+	return exempt
+}
+
+func cloneHeld(h heldFact) heldFact {
+	out := make(heldFact, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func joinHeld(a, b framework.Fact) framework.Fact {
+	ha, hb := a.(heldFact), b.(heldFact)
+	out := cloneHeld(ha)
+	for k, v := range hb {
+		cur, ok := out[k]
+		if !ok {
+			out[k] = v
+			continue
+		}
+		// May-held: a path that leaks dominates; earliest position for
+		// deterministic messages.
+		if v.count > cur.count {
+			cur.count = v.count
+		}
+		if cur.pos == token.NoPos || (v.pos != token.NoPos && v.pos < cur.pos) {
+			cur.pos = v.pos
+		}
+		out[k] = cur
+	}
+	return out
+}
+
+func equalHeld(a, b framework.Fact) bool {
+	ha, hb := a.(heldFact), b.(heldFact)
+	if len(ha) != len(hb) {
+		return false
+	}
+	for k, v := range ha {
+		if hb[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // isMutex reports whether e's type is sync.Mutex/RWMutex (or a pointer

@@ -41,6 +41,50 @@ func (q *Q) earlyReturn(b bool) {
 	q.mu.Unlock()
 }
 
+// earlyLeak releases on the fall-through path only: the CFG path check
+// catches the early return the anywhere-count misses.
+func (q *Q) earlyLeak(b bool) int {
+	q.mu.Lock() // want `q\.mu locked but not released on every path out of earlyLeak`
+	if b {
+		return -1
+	}
+	q.n++
+	q.mu.Unlock()
+	return q.n
+}
+
+// switchLeak misses the release in one case arm.
+func (q *Q) switchLeak(mode int) {
+	q.mu.Lock() // want `q\.mu locked but not released on every path out of switchLeak`
+	switch mode {
+	case 0:
+		q.mu.Unlock()
+	case 1:
+		q.n++
+		q.mu.Unlock()
+	default:
+		q.n-- // leaks
+	}
+}
+
+// litRelease hands the unlock to a deferred literal; keys released
+// inside nested literals are exempt from the path check.
+func (q *Q) litRelease() {
+	q.mu.Lock()
+	defer func() { q.mu.Unlock() }()
+	q.n++
+}
+
+// loopPaired locks and releases within each iteration; the loop
+// back-edge must not accumulate held state.
+func (q *Q) loopPaired(xs []int) {
+	for range xs {
+		q.mu.Lock()
+		q.n++
+		q.mu.Unlock()
+	}
+}
+
 // handoff returns holding the lock by design.
 func (q *Q) handoff() func() {
 	//lint:allow pairing lock ownership transfers to the returned closure

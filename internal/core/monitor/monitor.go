@@ -203,12 +203,14 @@ func (m *Monitor) Start() {
 			q := m.sharded.Shard(i)
 			for w := 0; w < m.cfg.WorkersPerShard; w++ {
 				m.wg.Add(1)
+				//lint:allow goleak daemon joins via the queue, not a signal field: Stop closes the shard and TakeBatch returns ok=false once drained
 				go m.daemon(q)
 			}
 		}
 	} else {
 		for i := 0; i < m.cfg.Daemons; i++ {
 			m.wg.Add(1)
+			//lint:allow goleak daemon joins via the queue, not a signal field: Stop closes the queue and TakeBatch returns ok=false once drained
 			go m.daemon(m.queue)
 		}
 	}

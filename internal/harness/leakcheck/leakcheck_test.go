@@ -1,0 +1,66 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records Errorf calls instead of failing the real test.
+type fakeTB struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper()                        {}
+func (f *fakeTB) Logf(string, ...any)            {}
+func (f *fakeTB) Errorf(format string, a ...any) { f.failed = true; f.msg = format }
+
+func TestGuardCleanPass(t *testing.T) {
+	ft := &fakeTB{}
+	done := Guard(ft)
+
+	// A goroutine that exits within the retry window must not trip the
+	// guard.
+	finished := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(finished)
+	}()
+	done()
+	<-finished
+	if ft.failed {
+		t.Fatalf("clean run flagged as leaking: %s", ft.msg)
+	}
+}
+
+func TestGuardCatchesLeak(t *testing.T) {
+	ft := &fakeTB{}
+	done := Guard(ft)
+
+	stop := make(chan struct{})
+	go func() { // deliberately outlives the window
+		<-stop
+	}()
+	start := time.Now()
+	done()
+	close(stop)
+	if !ft.failed {
+		t.Fatal("parked goroutine not reported as a leak")
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("guard gave up after %v; want the full retry window", elapsed)
+	}
+	if !strings.Contains(ft.msg, "leaked") {
+		t.Fatalf("unexpected error format: %q", ft.msg)
+	}
+}
+
+func TestGuardAllowlist(t *testing.T) {
+	if !allowlisted("goroutine 9 [IO wait]:\nnet/http.(*persistConn).readLoop(0xc0001)\n") {
+		t.Fatal("http persistConn should be allowlisted")
+	}
+	if allowlisted("goroutine 7 [chan receive]:\nhfetch/internal/core/monitor.(*Monitor).daemon(0xc0002)\n") {
+		t.Fatal("repo goroutines must not be allowlisted")
+	}
+}
